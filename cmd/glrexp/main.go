@@ -1,0 +1,76 @@
+// Command glrexp regenerates the paper's evaluation artifacts — every
+// table and figure of §3 — and prints them with paper-vs-measured
+// comparisons.
+//
+// Examples:
+//
+//	glrexp -list
+//	glrexp -exp fig7
+//	glrexp -exp tab6 -scale paper
+//	glrexp -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"glr"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment id to run (fig1, fig3, fig4..7, tab2..6)")
+		all     = flag.Bool("all", false, "run every experiment")
+		scale   = flag.String("scale", "quick", `"quick" (3 runs, 20% load) or "paper" (10 runs, full load)`)
+		verbose = flag.Bool("v", false, "print per-point progress")
+	)
+	flag.Parse()
+
+	sc := glr.Quick
+	switch *scale {
+	case "quick":
+	case "paper":
+		sc = glr.Paper
+	default:
+		fmt.Fprintf(os.Stderr, "glrexp: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, info := range glr.Experiments() {
+			fmt.Printf("%-5s %-9s %s\n", info.ID, info.Title, info.Description)
+		}
+		return
+	}
+
+	var progress func(string, ...any)
+	if *verbose {
+		progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "  "+format+"\n", args...)
+		}
+	}
+
+	runOne := func(id string) {
+		out, err := glr.RunExperimentVerbose(id, sc, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "glrexp:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+
+	switch {
+	case *all:
+		for _, info := range glr.Experiments() {
+			fmt.Printf("=== %s: %s ===\n", info.Title, info.Description)
+			runOne(info.ID)
+		}
+	case *exp != "":
+		runOne(*exp)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

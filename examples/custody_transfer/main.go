@@ -1,0 +1,46 @@
+// Custody transfer walkthrough (§2.3.2, Table 3): GLR keeps every sent
+// message in a Cache until the next hop acknowledges custody; on timeout
+// the message returns to the Store for rescheduling. This example runs
+// the same lossy sparse scenario with custody on and off and shows the
+// delivery-ratio gap.
+//
+//	go run ./examples/custody_transfer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"glr"
+)
+
+func main() {
+	base := glr.DefaultConfig(50) // sparse: transfers fail often
+	base.Messages = 300
+	base.SimTime = 1200 // the paper's Table-3 horizon
+	base.Seed = 11
+
+	run := func(disable bool) glr.Result {
+		cfg := base
+		cfg.GLRConfig = &glr.GLRConfig{DisableCustody: disable}
+		res, err := glr.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	with := run(false)
+	without := run(true)
+
+	fmt.Println("GLR on a 50 m sparse strip, 300 messages, 1200 s horizon:")
+	fmt.Printf("  with custody transfer:    %v\n", with)
+	fmt.Printf("    (%d custody acks exchanged)\n", with.Acks)
+	fmt.Printf("  without custody transfer: %v\n", without)
+	fmt.Printf("    (fire-and-forget: %d acks)\n", without.Acks)
+	fmt.Println()
+	fmt.Printf("Custody lifts delivery from %.1f%% to %.1f%% — the paper reports 84.7%% -> 97.9%%.\n",
+		100*without.DeliveryRatio, 100*with.DeliveryRatio)
+	fmt.Println("Without acknowledgments, any copy lost to collisions, queue overflow or a")
+	fmt.Println("receiver that moved away mid-transfer is simply gone.")
+}

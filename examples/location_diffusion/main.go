@@ -1,0 +1,48 @@
+// Location diffusion (§2.3.1, Table 2): geographic routing needs the
+// destination's coordinates, but in a DTN the destination drifts far from
+// where it was when the message was created. This example runs the three
+// knowledge regimes of Table 2 — every node knows, only the source knows
+// (diffusion refines en route), and nobody knows (a random guess that
+// only diffusion and the stale-location remedy can fix).
+//
+//	go run ./examples/location_diffusion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"glr"
+)
+
+func main() {
+	base := glr.DefaultConfig(100)
+	base.Messages = 300
+	base.Seed = 3
+
+	regimes := []struct {
+		location string
+		copies   int
+		label    string
+	}{
+		{"all", 1, "all nodes always know the true location (oracle)"},
+		{"source", 3, "only the source stamps it; relays diffuse updates"},
+		{"none", 3, "nobody knows: random initial guess + diffusion"},
+	}
+
+	fmt.Println("Destination-location knowledge vs delivery (100 m, 300 msgs):")
+	for _, reg := range regimes {
+		cfg := base
+		cfg.GLRConfig = &glr.GLRConfig{Location: reg.location, Copies: reg.copies}
+		res, err := glr.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-55s -> %.1f%% delivered, %.1fs latency, %.1f hops\n",
+			reg.label, 100*res.DeliveryRatio, res.AvgLatency, res.AvgHops)
+	}
+	fmt.Println()
+	fmt.Println("The paper's Table 2 shows the same ordering: oracle knowledge is fastest;")
+	fmt.Println("source-only knowledge costs latency and hops; no knowledge costs the most")
+	fmt.Println("(and a few messages miss the horizon entirely).")
+}

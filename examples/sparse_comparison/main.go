@@ -1,0 +1,50 @@
+// Sparse-network comparison: the paper's motivating scenario — a heavily
+// partitioned 50 m-radius strip where contemporaneous source→destination
+// paths almost never exist — run under GLR and epidemic routing, with and
+// without per-node storage limits (the Figure 4 / Figure 7 story).
+//
+//	go run ./examples/sparse_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"glr"
+)
+
+func main() {
+	fmt.Println("50 m radius, 1500×300 m strip, 50 nodes, random waypoint 0-20 m/s")
+	fmt.Println("(the unit-disk graph is shattered: ~0.9 neighbors per node on average)")
+	fmt.Println()
+
+	// Unlimited storage: both deliver via store-carry-forward; epidemic
+	// buys its delivery ratio with full replication.
+	cfg := glr.DefaultConfig(50)
+	cfg.Messages = 300
+	cfg.Seed = 7
+	mine, base, err := glr.Compare(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Unlimited storage:")
+	fmt.Printf("  GLR:      %v\n", mine)
+	fmt.Printf("  Epidemic: %v\n", base)
+	fmt.Println()
+
+	// Tight storage (20 messages/node): epidemic's FIFO buffers thrash
+	// and its delivery ratio collapses; GLR's controlled flooding keeps
+	// only a handful of copies in flight and barely notices.
+	cfg.StorageLimit = 20
+	mineLtd, baseLtd, err := glr.Compare(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Storage limited to 20 messages/node:")
+	fmt.Printf("  GLR:      %v\n", mineLtd)
+	fmt.Printf("  Epidemic: %v\n", baseLtd)
+	fmt.Println()
+	fmt.Printf("Delivery-ratio drop under pressure: GLR %.1f%% -> %.1f%%, epidemic %.1f%% -> %.1f%%\n",
+		100*mine.DeliveryRatio, 100*mineLtd.DeliveryRatio,
+		100*base.DeliveryRatio, 100*baseLtd.DeliveryRatio)
+}

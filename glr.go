@@ -1,0 +1,296 @@
+// Package glr is a Go reproduction of "A Geometric Routing Protocol in
+// Disruption Tolerant Network" (Du, Kranakis, Nayak; ICDCS Workshops
+// 2009): the GLR protocol — greedy geographic routing over a localized
+// Delaunay triangulation spanner with controlled multi-copy flooding
+// along MaxDSTD/MinDSTD/MidDSTD trees, store-and-forward, face routing,
+// location diffusion and custody transfer — together with the epidemic
+// routing baseline, a discrete-event wireless network simulator (CSMA/CA
+// MAC, two-ray ground propagation, random waypoint mobility), and a
+// harness that regenerates every table and figure of the paper's
+// evaluation.
+//
+// Quick start:
+//
+//	cfg := glr.DefaultConfig(100) // 100 m transmission range
+//	cfg.Messages = 200
+//	res, err := glr.Run(cfg)
+//	fmt.Println(res)
+//
+// Compare against the epidemic baseline:
+//
+//	mine, base, err := glr.Compare(cfg)
+//
+// Regenerate a paper artifact:
+//
+//	out, err := glr.RunExperiment("fig7", glr.Quick)
+//	fmt.Println(out)
+package glr
+
+import (
+	"fmt"
+
+	"glr/internal/core"
+	"glr/internal/epidemic"
+	"glr/internal/sim"
+)
+
+// Protocol selects the routing protocol for a run.
+type Protocol string
+
+// Supported protocols.
+const (
+	// GLR is the paper's Geometric Localized Routing protocol.
+	GLR Protocol = "glr"
+	// Epidemic is the Vahdat–Becker benchmark.
+	Epidemic Protocol = "epidemic"
+)
+
+// Config describes one simulation run. Zero values fall back to the
+// paper's Table-1 defaults; construct with DefaultConfig.
+type Config struct {
+	// Protocol to run (default GLR).
+	Protocol Protocol
+	// Nodes is the network size (paper: 50).
+	Nodes int
+	// Range is the transmission range in metres (paper: 50–250).
+	Range float64
+	// Width and Height set the deployment region (paper: 1500×300 m).
+	Width, Height float64
+	// Messages generated using the paper's traffic pattern (45 sources,
+	// round-robin, 1 msg/s). Ignored when Traffic is set.
+	Messages int
+	// Traffic optionally supplies an explicit schedule: (src, dst, at).
+	Traffic []Message
+	// SimTime is the horizon in seconds (0 = long enough for Traffic).
+	SimTime float64
+	// StorageLimit bounds per-node message storage (0 = unlimited).
+	StorageLimit int
+	// MaxSpeed is the random-waypoint top speed in m/s (paper: 20).
+	MaxSpeed float64
+	// Static disables mobility (uniform static placement).
+	Static bool
+	// Seed makes the run reproducible.
+	Seed int64
+
+	// GLRConfig overrides the GLR protocol parameters (nil = paper
+	// defaults). See package documentation for the knobs.
+	GLRConfig *GLRConfig
+	// EpidemicConfig overrides the epidemic baseline parameters.
+	EpidemicConfig *EpidemicConfig
+}
+
+// Message is one scheduled message generation.
+type Message struct {
+	Src, Dst int
+	At       float64
+}
+
+// GLRConfig exposes the protocol knobs of the paper's §2 mechanisms.
+type GLRConfig struct {
+	// CheckInterval is the store-and-forward route re-check period
+	// (paper default 0.9 s; Figure 3 sweeps it).
+	CheckInterval float64
+	// Copies forces the number of message copies; 0 uses Algorithm 1
+	// (network sparsity decides).
+	Copies int
+	// DisableCustody turns off custody transfer (§2.3.2; Table 3
+	// measures the cost of running without it).
+	DisableCustody bool
+	// Location selects the Table-2 destination-knowledge regime:
+	// "source" (default), "all", or "none".
+	Location string
+	// K is the LDTG neighborhood depth (paper: 2).
+	K int
+	// FullTableExchange enables the §2.3.1 extension: whole location
+	// tables are exchanged when nodes meet (the paper describes but
+	// disables this for overhead reasons).
+	FullTableExchange bool
+}
+
+// EpidemicConfig exposes the baseline's anti-entropy knobs.
+type EpidemicConfig struct {
+	// ExchangeInterval rate-limits per-pair anti-entropy sessions.
+	ExchangeInterval float64
+	// DataSendRate paces per-node message transfers (msgs/s; 0 = line
+	// rate).
+	DataSendRate float64
+	// BroadcastDeltas enables the broadcast-advertisement enhancement
+	// (off = faithful Vahdat–Becker; see DESIGN.md).
+	BroadcastDeltas bool
+	// ActiveReceipts enables the delivery-receipt extension discussed in
+	// the paper's introduction: anti-packets purge delivered messages
+	// from buffers network-wide.
+	ActiveReceipts bool
+}
+
+// DefaultConfig returns the paper's Table-1 scenario at the given
+// transmission range, with a modest default workload.
+func DefaultConfig(rangeMetres float64) Config {
+	return Config{
+		Protocol: GLR,
+		Nodes:    50,
+		Range:    rangeMetres,
+		Width:    1500,
+		Height:   300,
+		Messages: 200,
+		MaxSpeed: 20,
+		Seed:     1,
+	}
+}
+
+// Result digests one run.
+type Result struct {
+	Generated      int
+	Delivered      int
+	DeliveryRatio  float64
+	AvgLatency     float64 // seconds
+	AvgHops        float64
+	MaxPeakStorage int
+	AvgPeakStorage float64
+	Duplicates     int
+	ControlFrames  uint64
+	DataFrames     uint64
+	Acks           uint64
+}
+
+// String implements fmt.Stringer.
+func (r Result) String() string {
+	return fmt.Sprintf("delivered %d/%d (%.1f%%), latency %.2fs, hops %.2f, peak storage max %d avg %.1f",
+		r.Delivered, r.Generated, 100*r.DeliveryRatio, r.AvgLatency, r.AvgHops,
+		r.MaxPeakStorage, r.AvgPeakStorage)
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	scenario, err := cfg.scenario()
+	if err != nil {
+		return Result{}, err
+	}
+	factory, err := cfg.factory()
+	if err != nil {
+		return Result{}, err
+	}
+	w, err := sim.NewWorld(scenario, factory)
+	if err != nil {
+		return Result{}, err
+	}
+	rep := w.Run()
+	return Result{
+		Generated:      rep.Generated,
+		Delivered:      rep.Delivered,
+		DeliveryRatio:  rep.DeliveryRatio,
+		AvgLatency:     rep.AvgLatency,
+		AvgHops:        rep.AvgHops,
+		MaxPeakStorage: rep.MaxPeakStorage,
+		AvgPeakStorage: rep.AvgPeakStorage,
+		Duplicates:     rep.Duplicates,
+		ControlFrames:  rep.ControlFrames,
+		DataFrames:     rep.DataFrames,
+		Acks:           rep.Acks,
+	}, nil
+}
+
+// Compare runs the same scenario under GLR and epidemic routing.
+func Compare(cfg Config) (glrRes, epidemicRes Result, err error) {
+	cfg.Protocol = GLR
+	glrRes, err = Run(cfg)
+	if err != nil {
+		return
+	}
+	cfg.Protocol = Epidemic
+	epidemicRes, err = Run(cfg)
+	return
+}
+
+// scenario translates the public Config into the internal scenario.
+func (cfg Config) scenario() (sim.Scenario, error) {
+	rangeM := cfg.Range
+	if rangeM == 0 {
+		rangeM = 100
+	}
+	s := sim.DefaultScenario(rangeM)
+	if cfg.Nodes > 0 {
+		s.N = cfg.Nodes
+	}
+	if cfg.Width > 0 && cfg.Height > 0 {
+		s.Region.W, s.Region.H = cfg.Width, cfg.Height
+	}
+	if cfg.MaxSpeed > 0 {
+		s.MaxSpeed = cfg.MaxSpeed
+	}
+	if cfg.Static {
+		s.Mobility = sim.MobilityStatic
+	}
+	s.StorageLimit = cfg.StorageLimit
+	s.Seed = cfg.Seed
+	if len(cfg.Traffic) > 0 {
+		for _, m := range cfg.Traffic {
+			s.Traffic = append(s.Traffic, sim.TrafficItem{Src: m.Src, Dst: m.Dst, At: m.At})
+		}
+	} else {
+		msgs := cfg.Messages
+		if msgs <= 0 {
+			msgs = 200
+		}
+		s.Traffic = sim.PaperTraffic(msgs)
+	}
+	if cfg.SimTime > 0 {
+		s.SimTime = cfg.SimTime
+	} else {
+		last := 0.0
+		for _, ti := range s.Traffic {
+			if ti.At > last {
+				last = ti.At
+			}
+		}
+		s.SimTime = last + 600
+	}
+	return s, s.Validate()
+}
+
+// factory builds the protocol factory for the configured protocol.
+func (cfg Config) factory() (sim.ProtocolFactory, error) {
+	switch cfg.Protocol {
+	case Epidemic:
+		ec := epidemic.DefaultConfig()
+		if o := cfg.EpidemicConfig; o != nil {
+			if o.ExchangeInterval > 0 {
+				ec.ExchangeInterval = o.ExchangeInterval
+			}
+			if o.DataSendRate > 0 {
+				ec.DataSendRate = o.DataSendRate
+			}
+			ec.BroadcastDeltas = o.BroadcastDeltas
+			ec.ActiveReceipts = o.ActiveReceipts
+		}
+		return epidemic.New(ec)
+	case GLR, "":
+		gc := core.DefaultConfig()
+		if o := cfg.GLRConfig; o != nil {
+			if o.CheckInterval > 0 {
+				gc.CheckInterval = o.CheckInterval
+			}
+			if o.Copies > 0 {
+				gc.Copies = o.Copies
+			}
+			if o.K > 0 {
+				gc.K = o.K
+			}
+			gc.Custody = !o.DisableCustody
+			gc.FullTableExchange = o.FullTableExchange
+			switch o.Location {
+			case "", "source":
+				gc.Location = core.LocSourceKnows
+			case "all":
+				gc.Location = core.LocAllKnow
+			case "none":
+				gc.Location = core.LocNoneKnow
+			default:
+				return nil, fmt.Errorf("glr: unknown location regime %q", o.Location)
+			}
+		}
+		return core.New(gc)
+	default:
+		return nil, fmt.Errorf("glr: unknown protocol %q", cfg.Protocol)
+	}
+}

@@ -1,0 +1,151 @@
+package glr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigRuns(t *testing.T) {
+	cfg := DefaultConfig(250)
+	cfg.Messages = 20
+	cfg.SimTime = 200
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated != 20 {
+		t.Errorf("generated %d, want 20", res.Generated)
+	}
+	if res.DeliveryRatio < 0.9 {
+		t.Errorf("dense run delivered only %.2f", res.DeliveryRatio)
+	}
+	if !strings.Contains(res.String(), "delivered") {
+		t.Error("Result.String should be human readable")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cfg := DefaultConfig(250)
+	cfg.Messages = 20
+	cfg.SimTime = 200
+	mine, base, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mine.Generated != base.Generated {
+		t.Error("both protocols must see identical workloads")
+	}
+	// GLR acks custody; epidemic never acks.
+	if mine.Acks == 0 {
+		t.Error("GLR should produce custody acks")
+	}
+	if base.Acks != 0 {
+		t.Error("epidemic must not ack")
+	}
+}
+
+func TestConfigKnobs(t *testing.T) {
+	cfg := DefaultConfig(100)
+	cfg.Messages = 10
+	cfg.SimTime = 100
+	cfg.GLRConfig = &GLRConfig{CheckInterval: 0.5, Copies: 2, Location: "all", K: 2}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("GLR knobs rejected: %v", err)
+	}
+	cfg.GLRConfig = &GLRConfig{Location: "bogus"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("bogus location regime accepted")
+	}
+	cfg.GLRConfig = nil
+	cfg.Protocol = Epidemic
+	cfg.EpidemicConfig = &EpidemicConfig{ExchangeInterval: 2, DataSendRate: 5, BroadcastDeltas: true}
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("epidemic knobs rejected: %v", err)
+	}
+	cfg.Protocol = "bogus"
+	if _, err := Run(cfg); err == nil {
+		t.Error("bogus protocol accepted")
+	}
+}
+
+func TestCustomTraffic(t *testing.T) {
+	cfg := DefaultConfig(250)
+	cfg.Traffic = []Message{{Src: 0, Dst: 5, At: 1}, {Src: 3, Dst: 7, At: 2}}
+	cfg.SimTime = 120
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated != 2 {
+		t.Errorf("generated %d, want 2", res.Generated)
+	}
+}
+
+func TestStaticPlacement(t *testing.T) {
+	cfg := DefaultConfig(250)
+	cfg.Static = true
+	cfg.Messages = 10
+	cfg.SimTime = 100
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := DefaultConfig(100)
+	cfg.Nodes = 1
+	if _, err := Run(cfg); err == nil {
+		t.Error("single-node config accepted")
+	}
+	cfg = DefaultConfig(100)
+	cfg.Traffic = []Message{{Src: 0, Dst: 0, At: 1}}
+	if _, err := Run(cfg); err == nil {
+		t.Error("self-loop traffic accepted")
+	}
+}
+
+func TestExperimentsRegistry(t *testing.T) {
+	infos := Experiments()
+	if len(infos) != 12 {
+		t.Fatalf("got %d experiments, want 12 (every table and figure + ablation)", len(infos))
+	}
+	want := []string{"ablate", "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "tab2", "tab3", "tab4", "tab5", "tab6"}
+	for i, id := range want {
+		if infos[i].ID != id {
+			t.Errorf("experiment[%d] = %q, want %q", i, infos[i].ID, id)
+		}
+		if infos[i].Title == "" || infos[i].Description == "" {
+			t.Errorf("experiment %q lacks documentation", id)
+		}
+	}
+	if _, err := RunExperiment("nope", Quick); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentFig1(t *testing.T) {
+	out, err := RunExperiment("fig1", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 1") {
+		t.Error("fig1 output missing title")
+	}
+}
+
+func TestDeterministicPublicRuns(t *testing.T) {
+	cfg := DefaultConfig(150)
+	cfg.Messages = 30
+	cfg.SimTime = 200
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical configs must give identical results")
+	}
+}

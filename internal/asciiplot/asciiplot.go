@@ -1,0 +1,288 @@
+// Package asciiplot renders the paper's figures as terminal text: XY line
+// charts for the latency/delivery-ratio sweeps and scatter plots for the
+// Figure-1 topology snapshots. It intentionally mimics the gnuplot charts
+// the paper prints, so an experiment run can be eyeballed against the
+// original figure.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Chart lays out one or more series on a shared canvas.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot-area columns (default 60)
+	Height int // plot-area rows (default 18)
+	Series []Series
+	// YMin/YMax force the y range when both are set (YMax > YMin).
+	YMin, YMax float64
+	ForceYZero bool // extend the y range down to zero
+}
+
+// markers used when a series does not set one.
+var defaultMarkers = []rune{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 18
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(center(c.Title, w+10))
+		sb.WriteByte('\n')
+	}
+	xmin, xmax, ymin, ymax := c.bounds()
+	if c.ForceYZero && ymin > 0 {
+		ymin = 0
+	}
+	if c.YMax > c.YMin {
+		ymin, ymax = c.YMin, c.YMax
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			if i >= len(s.Y) {
+				break
+			}
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
+			col := int(math.Round((x - xmin) / (xmax - xmin) * float64(w-1)))
+			row := int(math.Round((y - ymin) / (ymax - ymin) * float64(h-1)))
+			if col < 0 || col >= w || row < 0 || row >= h {
+				continue
+			}
+			grid[h-1-row][col] = marker
+		}
+	}
+
+	// y-axis labels on selected rows.
+	for i, row := range grid {
+		frac := float64(h-1-i) / float64(h-1)
+		yval := ymin + frac*(ymax-ymin)
+		label := "        "
+		if i == 0 || i == h-1 || i == h/2 {
+			label = fmt.Sprintf("%8.5g", yval)
+		}
+		sb.WriteString(label)
+		sb.WriteString(" |")
+		sb.WriteString(string(row))
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", 9))
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", w))
+	sb.WriteByte('\n')
+	xlo := fmt.Sprintf("%-10.5g", xmin)
+	xhi := fmt.Sprintf("%10.5g", xmax)
+	pad := w - len(xlo) - len(xhi) + 10
+	if pad < 1 {
+		pad = 1
+	}
+	sb.WriteString(strings.Repeat(" ", 9))
+	sb.WriteString(xlo)
+	sb.WriteString(strings.Repeat(" ", pad))
+	sb.WriteString(xhi)
+	sb.WriteByte('\n')
+	if c.XLabel != "" {
+		sb.WriteString(center(c.XLabel, w+10))
+		sb.WriteByte('\n')
+	}
+	// Legend.
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&sb, "%10s%c %s\n", "", marker, s.Name)
+	}
+	return sb.String()
+}
+
+func (c Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if !any {
+		return 0, 1, 0, 1
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+func center(s string, width int) string {
+	if len(s) >= width {
+		return s
+	}
+	left := (width - len(s)) / 2
+	return strings.Repeat(" ", left) + s
+}
+
+// Scatter renders point positions in a bounded region with optional edges
+// — the Figure-1 topology snapshot style.
+type Scatter struct {
+	Title         string
+	W, H          float64 // region extent in metres
+	Width, Height int     // canvas size in characters
+	Points        [][2]float64
+	Edges         [][2]int // indices into Points
+}
+
+// Render draws the scatter.
+func (s Scatter) Render() string {
+	cw, ch := s.Width, s.Height
+	if cw <= 0 {
+		cw = 64
+	}
+	if ch <= 0 {
+		ch = 20
+	}
+	grid := make([][]rune, ch)
+	for i := range grid {
+		grid[i] = make([]rune, cw)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	toCell := func(p [2]float64) (int, int) {
+		col := int(p[0] / s.W * float64(cw-1))
+		row := int(p[1] / s.H * float64(ch-1))
+		return clamp(col, 0, cw-1), clamp(row, 0, ch-1)
+	}
+	// Edges first (drawn with light dots), points on top.
+	for _, e := range s.Edges {
+		a, b := s.Points[e[0]], s.Points[e[1]]
+		const steps = 24
+		for t := 0; t <= steps; t++ {
+			f := float64(t) / steps
+			col, row := toCell([2]float64{a[0] + f*(b[0]-a[0]), a[1] + f*(b[1]-a[1])})
+			if grid[ch-1-row][col] == ' ' {
+				grid[ch-1-row][col] = '.'
+			}
+		}
+	}
+	for _, p := range s.Points {
+		col, row := toCell(p)
+		grid[ch-1-row][col] = 'O'
+	}
+	var sb strings.Builder
+	if s.Title != "" {
+		sb.WriteString(center(s.Title, cw))
+		sb.WriteByte('\n')
+	}
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", cw))
+	sb.WriteString("+\n")
+	for _, row := range grid {
+		sb.WriteByte('|')
+		sb.WriteString(string(row))
+		sb.WriteString("|\n")
+	}
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", cw))
+	sb.WriteString("+\n")
+	return sb.String()
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Table renders an aligned text table in the paper's style.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Render draws the table.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[min(i, len(widths)-1)], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}

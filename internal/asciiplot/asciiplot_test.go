@@ -1,0 +1,122 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChartRenderBasics(t *testing.T) {
+	c := Chart{
+		Title:  "Delivery latency",
+		XLabel: "messages",
+		Series: []Series{
+			{Name: "GLR", X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}},
+			{Name: "Epidemic", X: []float64{0, 1, 2}, Y: []float64{2, 4, 6}},
+		},
+	}
+	out := c.Render()
+	for _, want := range []string{"Delivery latency", "messages", "GLR", "Epidemic", "*", "+"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 18 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestChartEmptySeries(t *testing.T) {
+	out := Chart{Series: []Series{{Name: "nothing"}}}.Render()
+	if out == "" {
+		t.Error("empty chart should still render axes")
+	}
+}
+
+func TestChartNaNSkipped(t *testing.T) {
+	c := Chart{Series: []Series{{
+		Name: "holes",
+		X:    []float64{0, 1, 2},
+		Y:    []float64{1, nan(), 3},
+	}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Error("non-NaN points should render")
+	}
+}
+
+func nan() float64 { return float64NaN }
+
+var float64NaN = func() float64 {
+	var z float64
+	return z / z
+}()
+
+func TestChartConstantSeries(t *testing.T) {
+	// Degenerate ranges (all same x or y) must not divide by zero.
+	c := Chart{Series: []Series{{Name: "flat", X: []float64{1, 1, 1}, Y: []float64{5, 5, 5}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series should still draw:\n%s", out)
+	}
+}
+
+func TestChartForcedYRange(t *testing.T) {
+	c := Chart{
+		YMin: 0, YMax: 1, ForceYZero: true,
+		Series: []Series{{Name: "ratio", X: []float64{0, 1}, Y: []float64{0.9, 0.95}}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "1") {
+		t.Errorf("forced range should label 1:\n%s", out)
+	}
+}
+
+func TestScatterRender(t *testing.T) {
+	s := Scatter{
+		Title: "50 nodes, 100m",
+		W:     1000, H: 1000,
+		Points: [][2]float64{{100, 100}, {900, 900}, {500, 500}},
+		Edges:  [][2]int{{0, 2}},
+	}
+	out := s.Render()
+	if strings.Count(out, "O") != 3 {
+		t.Errorf("want 3 node markers:\n%s", out)
+	}
+	if !strings.Contains(out, ".") {
+		t.Errorf("edge dots missing:\n%s", out)
+	}
+	if !strings.Contains(out, "50 nodes, 100m") {
+		t.Error("title missing")
+	}
+}
+
+func TestScatterPointsOnBoundary(t *testing.T) {
+	s := Scatter{W: 100, H: 100, Points: [][2]float64{{0, 0}, {100, 100}}}
+	out := s.Render()
+	if strings.Count(out, "O") != 2 {
+		t.Errorf("boundary points must clamp into canvas:\n%s", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := Table{
+		Title:   "Table 3: Message delivery ratio comparison (50m)",
+		Headers: []string{"Scenario", "Delivery ratio"},
+		Rows: [][]string{
+			{"without custody", "84.7%±1%"},
+			{"with custody", "97.9%±1%"},
+		},
+	}
+	out := tb.Render()
+	for _, want := range []string{"Scenario", "without custody", "97.9%±1%", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: header and first column cells start at the same offset.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 5 {
+		t.Fatalf("table too short:\n%s", out)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+
+	"glr/internal/sim"
+)
+
+func TestFullTableExchangeSpreadsKnowledge(t *testing.T) {
+	// With the §2.3.1 extension, nodes that meet merge whole location
+	// tables, so a node ends up knowing about nodes it never heard
+	// directly.
+	run := func(enabled bool) int {
+		cfg := DefaultConfig()
+		cfg.FullTableExchange = enabled
+		cfg.TableExchangeInterval = 5
+		s := sim.DefaultScenario(100)
+		s.Seed = 41
+		s.N = 30
+		s.SimTime = 300
+		s.Traffic = nil
+		w, _ := buildProbedWorld(t, s, cfg)
+		w.Run()
+		known := 0
+		for i := 0; i < s.N; i++ {
+			known += w.Node(i).Locations().Len()
+		}
+		return known
+	}
+	with := run(true)
+	without := run(false)
+	if with <= without {
+		t.Errorf("full table exchange should spread knowledge: with=%d without=%d", with, without)
+	}
+}
+
+func TestTableExchangeValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FullTableExchange = true
+	cfg.TableExchangeInterval = 0
+	if cfg.Validate() == nil {
+		t.Error("zero exchange interval with the extension enabled should be rejected")
+	}
+}
+
+func TestTableExchangeRateLimited(t *testing.T) {
+	// Control-frame volume with the extension on must stay bounded by
+	// the per-pair rate limit (not explode per beacon).
+	cfg := DefaultConfig()
+	cfg.FullTableExchange = true
+	cfg.TableExchangeInterval = 10
+	s := sim.DefaultScenario(250)
+	s.Seed = 42
+	s.N = 10
+	s.SimTime = 50
+	s.Traffic = nil
+	w, _ := buildProbedWorld(t, s, cfg)
+	r := w.Run()
+	// Beacons: 10 nodes × 50 s ≈ 500 control frames. Table syncs: at
+	// most 10×9 pairs × (50/10) ≈ 450. Anything far beyond that means
+	// the rate limit failed.
+	if r.ControlFrames > 1200 {
+		t.Errorf("control frames = %d — table exchange not rate-limited", r.ControlFrames)
+	}
+}

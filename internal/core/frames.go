@@ -1,0 +1,257 @@
+package core
+
+import (
+	"sort"
+
+	"glr/internal/dtn"
+	"glr/internal/geom"
+	"glr/internal/ldt"
+	"glr/internal/sim"
+)
+
+// dataFrame carries one message copy hop to hop. The geo header includes
+// the sender's position and timestamp, enabling §2.3.1 diffusion; the
+// message itself carries the destination-location estimate.
+type dataFrame struct {
+	Msg       dtn.Message
+	Face      ldt.FaceState // face-mode state travels with the copy
+	SenderPos geom.Point
+	SentAt    float64
+}
+
+// ackFrame is the custody acknowledgment (§2.3.2): it identifies the
+// message ("source node, destination node, message count") and the tree
+// branch ("it is needed because messages in different tree branches follow
+// different routing paths"), and piggybacks the receiver's destination-
+// location knowledge so the sender's table benefits from reverse
+// diffusion ("notifies the message holder if it has more recent
+// destination location than that of the message holder").
+type ackFrame struct {
+	ID         dtn.MessageID
+	Dst        int
+	Flags      dtn.TreeFlags
+	SenderPos  geom.Point
+	DstLoc     geom.Point
+	DstLocTime float64
+	DstKnown   bool
+}
+
+// forward transmits a stored message to its per-tree targets and performs
+// the custody bookkeeping. targets maps next-hop node id → the tree flags
+// the copy sent there carries.
+func (g *GLR) forward(m *dtn.Message, targets map[int]dtn.TreeFlags) {
+	now := g.n.Now()
+	selfPos := g.n.Pos()
+	faceState := ldt.FaceState{}
+	if st := g.face[m.ID]; st != nil {
+		faceState = *st
+	}
+
+	// Deterministic transmission order regardless of map layout.
+	dsts := make([]int, 0, len(targets))
+	for dst := range targets {
+		dsts = append(dsts, dst)
+	}
+	sort.Ints(dsts)
+
+	var sentFlags dtn.TreeFlags
+	for _, dst := range dsts {
+		flags := targets[dst]
+		copyMsg := *m
+		copyMsg.Flags = flags
+		frame := dataFrame{Msg: copyMsg, Face: faceState, SenderPos: selfPos, SentAt: now}
+		bits := m.PayloadBits + g.cfg.GeoHeaderBits
+		id, branch := m.ID, flags
+		g.n.Unicast(dst, sim.KindData, frame, bits, func(ok bool) {
+			if g.cfg.Custody && !ok {
+				g.onSendFailed(id, branch)
+			}
+		})
+		sentFlags |= flags
+	}
+
+	if g.cfg.Custody {
+		// Move Store→Cache and await per-branch acks.
+		g.store.MarkSent(m.ID, now)
+		g.pendingAcks[m.ID] |= sentFlags
+		return
+	}
+	// Fire and forget (§2.3.2 inverted): without custody transfer the
+	// sender deletes the message as soon as it is sent — no link-layer
+	// or protocol confirmation is awaited, so any copy that dies in
+	// transit (collision, receiver moved away, queue overflow) is gone:
+	// "delivered with high probability but without any guarantee".
+	g.store.MarkSent(m.ID, now)
+	g.store.Ack(m.ID)
+	g.forget(m.ID)
+}
+
+// onSendFailed reacts to a MAC-level unicast failure (no receiver after
+// retries). Under custody the failed branch returns to the Store
+// immediately instead of waiting for the cache timeout; branches still in
+// flight keep their pending-ack state.
+func (g *GLR) onSendFailed(id dtn.MessageID, flags dtn.TreeFlags) {
+	if !g.cfg.Custody {
+		return
+	}
+	pending, ok := g.pendingAcks[id]
+	if !ok {
+		return
+	}
+	if remaining := pending &^ flags; remaining == 0 {
+		delete(g.pendingAcks, id)
+	} else {
+		g.pendingAcks[id] = remaining
+	}
+	if m := g.store.ReturnToStore(id); m != nil {
+		g.stats.CustodyReturns++
+		m.Flags = flags // only the failed branches reroute
+	} else if m := g.store.Get(id); m != nil {
+		m.Flags |= flags // an earlier failure already returned it
+	}
+}
+
+// tableFrame carries a full location table for the §2.3.1 exchange
+// extension.
+type tableFrame struct {
+	Rows []tableRow
+}
+
+type tableRow struct {
+	ID   int
+	Pos  geom.Point
+	Time float64
+}
+
+// OnFrame implements sim.Protocol.
+func (g *GLR) OnFrame(payload any, from int) {
+	switch f := payload.(type) {
+	case dataFrame:
+		g.onData(f, from)
+	case ackFrame:
+		g.onAck(f, from)
+	case tableFrame:
+		g.onTable(f)
+	}
+}
+
+// onTable merges a peer's location table (fresher rows win).
+func (g *GLR) onTable(f tableFrame) {
+	for _, row := range f.Rows {
+		g.n.Locations().Update(row.ID, row.Pos, row.Time)
+	}
+}
+
+// maybeExchangeTable unicasts our full location table to a peer if the
+// extension is enabled and the pair has not synced recently.
+func (g *GLR) maybeExchangeTable(peer int) {
+	if !g.cfg.FullTableExchange {
+		return
+	}
+	now := g.n.Now()
+	if last, ok := g.lastTableSync[peer]; ok && now-last < g.cfg.TableExchangeInterval {
+		return
+	}
+	g.lastTableSync[peer] = now
+	loc := g.n.Locations()
+	ids := loc.IDs()
+	rows := make([]tableRow, 0, len(ids))
+	for _, id := range ids {
+		if e, ok := loc.Get(id); ok {
+			rows = append(rows, tableRow{ID: id, Pos: e.Pos, Time: e.Time})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	bits := 8*8 + len(rows)*20*8 // header + 20 bytes per row
+	g.n.Unicast(peer, sim.KindControl, tableFrame{Rows: rows}, bits, nil)
+}
+
+// onData handles an arriving message copy.
+func (g *GLR) onData(f dataFrame, from int) {
+	m := f.Msg // independent copy
+	m.Hops++
+
+	// Location diffusion (§2.3.1): the frame teaches us the sender's
+	// position; the message header and our table reconcile, newer wins
+	// in both directions.
+	g.n.Locations().Update(from, f.SenderPos, f.SentAt)
+	if e, ok := g.n.Locations().Get(m.Dst); ok {
+		m.UpdateDstLoc(e.Pos, e.Time, true)
+	}
+	if m.DstLocKnown {
+		g.n.Locations().Update(m.Dst, m.DstLoc, m.DstLocTime)
+	}
+
+	if m.Dst == g.n.ID() {
+		// Arrived. Acknowledge so the sender clears its Cache (when
+		// custody is in use); report only the first copy.
+		if g.cfg.Custody {
+			g.sendAck(from, &m)
+		}
+		if !g.deliveredHere[m.ID] {
+			g.deliveredHere[m.ID] = true
+			g.n.ReportDelivered(&m)
+		}
+		return
+	}
+
+	// Custody accept: store the copy and acknowledge this tree branch.
+	if g.cfg.Custody {
+		g.sendAck(from, &m)
+	}
+	if f.Face.Active {
+		st := f.Face
+		g.face[m.ID] = &st
+	}
+	g.addToStore(&m)
+}
+
+// onAck completes custody transfer for the acknowledged tree branches.
+func (g *GLR) onAck(f ackFrame, from int) {
+	g.n.Locations().Update(from, f.SenderPos, g.n.Now())
+	if f.DstKnown {
+		g.n.Locations().Update(f.Dst, f.DstLoc, f.DstLocTime)
+	}
+	remaining, ok := g.pendingAcks[f.ID]
+	if !ok {
+		return
+	}
+	remaining &^= f.Flags
+	if remaining != 0 {
+		g.pendingAcks[f.ID] = remaining
+		return
+	}
+	delete(g.pendingAcks, f.ID)
+	g.store.Ack(f.ID)
+	g.forget(f.ID)
+}
+
+// sendAck unicasts a custody/delivery acknowledgment for the received
+// copy, piggybacking our destination-location knowledge.
+func (g *GLR) sendAck(to int, m *dtn.Message) {
+	ack := ackFrame{
+		ID:        m.ID,
+		Dst:       m.Dst,
+		Flags:     m.Flags,
+		SenderPos: g.n.Pos(),
+	}
+	if m.Dst == g.n.ID() {
+		// We ARE the destination: our own position is the freshest
+		// possible estimate.
+		ack.DstLoc, ack.DstLocTime, ack.DstKnown = g.n.Pos(), g.n.Now(), true
+	} else if e, ok := g.n.Locations().Get(m.Dst); ok {
+		ack.DstLoc, ack.DstLocTime, ack.DstKnown = e.Pos, e.Time, true
+	}
+	g.n.Unicast(to, sim.KindAck, ack, g.cfg.AckBits, nil)
+}
+
+// OnBeacon implements sim.Protocol. Node-level bookkeeping (neighbor and
+// location tables) already ran; routing reacts at the next route check
+// ("when ... new path emerges in the locally constructed trees, it will
+// send the stored messages"). With the §2.3.1 extension enabled, meeting
+// a peer also triggers a full location-table exchange.
+func (g *GLR) OnBeacon(b sim.Beacon) {
+	g.maybeExchangeTable(b.From)
+}

@@ -1,0 +1,311 @@
+// Package core implements GLR — the Geometric Localized Routing protocol
+// that is the paper's contribution (§2). Per node it maintains:
+//
+//   - a custody Store/Cache pair (§2.3.2) holding message copies;
+//   - per-message pending-ack flag sets (acks identify the tree branch);
+//   - face-routing state per message copy (§2.3, local-minimum escape);
+//   - stale-location stuck timers (§3.3 remedy).
+//
+// The routing loop (Algorithm 2) runs every checkinterval: construct the
+// LDTG from 2-hop beacon knowledge, pick MaxDSTD/MinDSTD/MidDSTD next hops
+// for the tree flags each message carries (Algorithm 1 decides how many
+// trees at the source), unicast copies with custody transfer, and fall
+// back to face routing or store-and-wait when no neighbor makes progress.
+package core
+
+import (
+	"fmt"
+
+	"glr/internal/dtn"
+	"glr/internal/geom"
+	"glr/internal/ldt"
+	"glr/internal/sim"
+)
+
+// SpannerKind selects the local routing graph construction.
+type SpannerKind int
+
+// Routing-graph choices.
+const (
+	// SpannerLDTG is the paper's k-localized Delaunay triangulation.
+	SpannerLDTG SpannerKind = iota
+	// SpannerGabriel uses the Gabriel graph restricted to unit-disk
+	// edges — planar and connected, but a worse spanner (unbounded
+	// stretch).
+	SpannerGabriel
+	// SpannerUDG routes greedily over all unit-disk neighbors with no
+	// planarization.
+	SpannerUDG
+)
+
+// String implements fmt.Stringer.
+func (s SpannerKind) String() string {
+	switch s {
+	case SpannerGabriel:
+		return "gabriel"
+	case SpannerUDG:
+		return "udg"
+	}
+	return "ldtg"
+}
+
+// LocationKnowledge selects the Table-2 location-availability regime.
+type LocationKnowledge int
+
+// Location regimes.
+const (
+	// LocSourceKnows: the source stamps the true destination location at
+	// generation time; relays refine it by diffusion (the paper's
+	// default assumption).
+	LocSourceKnows LocationKnowledge = iota
+	// LocAllKnow: every node reads the true destination location before
+	// each routing decision (Table 2, row 1).
+	LocAllKnow
+	// LocNoneKnow: the source stamps a random location ("random location
+	// is given at the beginning"); only diffusion corrects it (Table 2,
+	// row 4).
+	LocNoneKnow
+)
+
+// Config parameterises GLR. Start from DefaultConfig.
+type Config struct {
+	// K is the neighborhood radius (hops) used for LDTG construction;
+	// the paper's experiments use distance-2 information.
+	K int
+	// CheckInterval is the store-and-forward route re-check period
+	// (§3.2; the paper's default is 0.9 s, swept in Figure 3).
+	CheckInterval float64
+	// CacheTimeout is how long a sent message waits in the Cache for a
+	// custody ack before moving back to the Store (§2.3.2).
+	CacheTimeout float64
+	// Copies forces the number of identical copies (tree flags). 0 means
+	// decide per Algorithm 1 from network sparsity.
+	Copies int
+	// ConnectivityS is the s in the Georgiou et al. connectivity bound
+	// (connected w.p. ≥ 1−1/s); Algorithm 1 compares the node range
+	// against the resulting threshold radius.
+	ConnectivityS float64
+	// Custody enables custody transfer (§2.3.2). Table 3 compares off.
+	Custody bool
+	// Location selects the Table-2 knowledge regime.
+	Location LocationKnowledge
+	// StaleRelocateAfter is the stuck time after which a carrier that is
+	// closest to the (stale) destination estimate re-draws it (§3.3).
+	StaleRelocateAfter float64
+	// ProgressHysteresis is the fraction of the transmission range by
+	// which a neighbor must be closer to the destination before a relay
+	// hands the message over. Mobile nodes travelling together jostle
+	// past each other constantly; without a margin every route check
+	// swaps custody back and forth inside the pair, inflating hop counts
+	// without advancing the message.
+	ProgressHysteresis float64
+	// FaceRetryBackoff is the minimum wait after a failed face walk
+	// before the walk may be retried even if the local topology changed.
+	// In sparse mobile networks cluster membership churns every few
+	// seconds; unbounded retries circulate messages around disconnected
+	// clusters, burning transmissions without progress.
+	FaceRetryBackoff float64
+	// DisableFaceRouting makes local minima store-and-wait instead of
+	// walking faces — an ablation of the paper's §2.3 escape mechanism.
+	DisableFaceRouting bool
+	// Spanner selects the routing graph: the paper's LDTG (default),
+	// the Gabriel graph (a simpler planar spanner), or the raw unit-disk
+	// graph (no planarization — face routing loses its guarantees).
+	// Ablation knob for the §2.1 design choice.
+	Spanner SpannerKind
+	// FullTableExchange implements the §2.3.1 extension the paper
+	// describes but leaves disabled: "for best location accuracy,
+	// location tables should be exchanged whenever two nodes meet each
+	// other. Since this will add extra overhead ... it is not used in
+	// the experimentation." When enabled, a node hearing a beacon from a
+	// peer it has not synced with recently unicasts its whole location
+	// table; the peer merges fresher rows.
+	FullTableExchange bool
+	// TableExchangeInterval rate-limits full table exchanges per pair.
+	TableExchangeInterval float64
+	// GeoHeaderBits/AckBits size the protocol's on-air overhead.
+	GeoHeaderBits int
+	AckBits       int
+}
+
+// DefaultConfig returns the paper's settings.
+func DefaultConfig() Config {
+	return Config{
+		K:                     2,
+		CheckInterval:         0.9,
+		CacheTimeout:          4.5,
+		Copies:                0,
+		ConnectivityS:         10,
+		Custody:               true,
+		Location:              LocSourceKnows,
+		StaleRelocateAfter:    30,
+		ProgressHysteresis:    0.2,
+		FaceRetryBackoff:      15,
+		TableExchangeInterval: 30,
+		GeoHeaderBits:         40 * 8,
+		AckBits:               20 * 8,
+	}
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.K < 1:
+		return fmt.Errorf("core: K %d must be ≥ 1", c.K)
+	case c.CheckInterval <= 0:
+		return fmt.Errorf("core: check interval %v must be positive", c.CheckInterval)
+	case c.CacheTimeout <= 0:
+		return fmt.Errorf("core: cache timeout %v must be positive", c.CacheTimeout)
+	case c.Copies < 0 || c.Copies > 5:
+		return fmt.Errorf("core: copies %d must be 0 (auto) or 1..5", c.Copies)
+	case c.ConnectivityS <= 1:
+		return fmt.Errorf("core: connectivity s %v must exceed 1", c.ConnectivityS)
+	case c.StaleRelocateAfter <= 0:
+		return fmt.Errorf("core: stale relocate threshold %v must be positive", c.StaleRelocateAfter)
+	case c.ProgressHysteresis < 0 || c.ProgressHysteresis >= 1:
+		return fmt.Errorf("core: progress hysteresis %v must be in [0,1)", c.ProgressHysteresis)
+	case c.FaceRetryBackoff < 0:
+		return fmt.Errorf("core: face retry backoff %v must be nonnegative", c.FaceRetryBackoff)
+	case c.FullTableExchange && c.TableExchangeInterval <= 0:
+		return fmt.Errorf("core: table exchange interval %v must be positive", c.TableExchangeInterval)
+	case c.GeoHeaderBits < 0 || c.AckBits <= 0:
+		return fmt.Errorf("core: invalid frame overhead sizes")
+	}
+	return nil
+}
+
+// GLR is one node's protocol instance.
+type GLR struct {
+	cfg Config
+	n   *sim.Node
+
+	store *dtn.CustodyStore
+	// pendingAcks tracks, per cached message, the tree-branch flags that
+	// were sent and not yet acknowledged ("this notification contains
+	// ... the extracted tree branch information").
+	pendingAcks map[dtn.MessageID]dtn.TreeFlags
+	// face carries per-message face-routing state while the copy is
+	// stored here.
+	face map[dtn.MessageID]*ldt.FaceState
+	// stuckSince records when a stored message last failed to make any
+	// progress, for the §3.3 stale-location remedy.
+	stuckSince map[dtn.MessageID]float64
+	// faceFailTopo remembers the neighborhood signature at the moment a
+	// face walk failed; the walk is not retried until the local topology
+	// changes (otherwise every check re-traverses the same dead loop).
+	faceFailTopo map[dtn.MessageID]uint64
+	// faceFailAt rate-limits face-walk retries after failure.
+	faceFailAt map[dtn.MessageID]float64
+	// deliveredHere dedupes arrivals when this node is the destination.
+	deliveredHere map[dtn.MessageID]bool
+	// lastTableSync rate-limits §2.3.1 full table exchanges per peer.
+	lastTableSync map[int]float64
+
+	stats Stats
+}
+
+// Stats counts forwarding decisions, exposed for ablation benchmarks and
+// white-box tests.
+type Stats struct {
+	GreedyForwards uint64 // tree-based forwards (Algorithm 2 main path)
+	DirectForwards uint64 // destination was an audible neighbor
+	FaceForwards   uint64 // perimeter-mode forwards
+	FaceFailures   uint64 // face walks that completed a loop
+	Relocations    uint64 // §3.3 stale-location re-draws
+	CustodyReturns uint64 // cache-timeout or MAC-failure returns to Store
+}
+
+// Stats returns the node's forwarding counters.
+func (g *GLR) Stats() Stats { return g.stats }
+
+// New builds a GLR factory for sim.NewWorld.
+func New(cfg Config) (sim.ProtocolFactory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return func(n *sim.Node) sim.Protocol {
+		return &GLR{
+			cfg:           cfg,
+			n:             n,
+			store:         dtn.NewCustodyStore(n.StorageLimit()),
+			pendingAcks:   make(map[dtn.MessageID]dtn.TreeFlags),
+			face:          make(map[dtn.MessageID]*ldt.FaceState),
+			stuckSince:    make(map[dtn.MessageID]float64),
+			faceFailTopo:  make(map[dtn.MessageID]uint64),
+			faceFailAt:    make(map[dtn.MessageID]float64),
+			deliveredHere: make(map[dtn.MessageID]bool),
+			lastTableSync: make(map[int]float64),
+		}
+	}, nil
+}
+
+// Init implements sim.Protocol: start the periodic route check with a
+// random phase so nodes do not check in lockstep.
+func (g *GLR) Init(n *sim.Node) {
+	phase := n.Rand().Float64() * g.cfg.CheckInterval
+	n.After(phase, g.routeCheck)
+}
+
+// StorageUsed implements sim.Protocol: Store + Cache occupancy.
+func (g *GLR) StorageUsed() int { return g.store.Total() }
+
+// CopyCount implements Algorithm 1: single copy when the transmission
+// range exceeds the connectivity-threshold radius (the network is likely
+// connected and "multiple message copies should be avoided"), three trees
+// when sparse, five when very sparse ("if more than three identical
+// message copies are needed ... multiple MidDSTD trees are extracted").
+func (g *GLR) CopyCount() int {
+	if g.cfg.Copies > 0 {
+		return g.cfg.Copies
+	}
+	rstar := geom.ConnectivityThreshold(g.n.NodeCount(), g.n.Region().Area(), g.cfg.ConnectivityS)
+	r := g.n.Range()
+	switch {
+	case r >= rstar:
+		return 1
+	case r >= rstar/4:
+		return 3
+	default:
+		return 5
+	}
+}
+
+// OnMessageGenerated implements sim.Protocol (the source-side half of
+// Algorithm 2).
+func (g *GLR) OnMessageGenerated(m *dtn.Message) {
+	now := g.n.Now()
+	switch g.cfg.Location {
+	case LocAllKnow, LocSourceKnows:
+		m.DstLoc = g.n.OraclePosition(m.Dst)
+		m.DstLocTime = now
+		m.DstLocKnown = true
+	case LocNoneKnow:
+		m.DstLoc = g.n.Region().RandomPoint(g.n.Rand())
+		m.DstLocTime = now
+		m.DstLocKnown = false
+	}
+	flags := dtn.TreeFlags(0)
+	for _, f := range dtn.AllTreeFlags(g.CopyCount()) {
+		flags |= f
+	}
+	m.Flags = flags
+	g.addToStore(m)
+}
+
+// addToStore inserts a message, cleaning up auxiliary state for anything
+// the bounded store dropped.
+func (g *GLR) addToStore(m *dtn.Message) {
+	dropped, _ := g.store.Add(m)
+	if dropped != nil {
+		g.forget(dropped.ID)
+	}
+}
+
+// forget clears auxiliary per-message state.
+func (g *GLR) forget(id dtn.MessageID) {
+	delete(g.pendingAcks, id)
+	delete(g.face, id)
+	delete(g.stuckSince, id)
+	delete(g.faceFailTopo, id)
+	delete(g.faceFailAt, id)
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"sort"
+
+	"glr/internal/dtn"
+	"glr/internal/geom"
+	"glr/internal/ldt"
+)
+
+// routeCheck is the periodic store-and-forward loop (Algorithm 2): expire
+// custody timeouts, refresh destination estimates, and attempt to forward
+// every stored message along its trees.
+func (g *GLR) routeCheck() {
+	now := g.n.Now()
+
+	// Custody timeouts: unacknowledged branches go back to the Store
+	// "for another round of transfer rescheduling".
+	for _, m := range g.store.ExpireCache(now - g.cfg.CacheTimeout) {
+		g.stats.CustodyReturns++
+		if remaining, ok := g.pendingAcks[m.ID]; ok && remaining != 0 {
+			m.Flags = remaining
+		}
+		delete(g.pendingAcks, m.ID)
+	}
+
+	if g.store.StoreLen() > 0 {
+		view, nbrIDs, nbrPts := g.localSpanner()
+		for _, m := range g.store.StoredMessages() {
+			g.routeMessage(m, view, nbrIDs, nbrPts)
+		}
+	}
+
+	g.n.After(g.cfg.CheckInterval, g.routeCheck)
+}
+
+// localSpanner constructs this node's current routing-graph incident
+// edges from 2-hop beacon knowledge (the LDTG by default; Gabriel or the
+// raw UDG under ablation). It returns the view plus parallel id/position
+// slices of the accepted neighbors (global ids).
+func (g *GLR) localSpanner() (*ldt.LocalView, []int, []geom.Point) {
+	ids, pts := g.n.Neighbors().TwoHopPoints(g.n.ID(), g.n.Pos())
+	view, err := ldt.NewLocalView(g.n.ID(), ids, pts, g.n.Range())
+	if err != nil {
+		return nil, nil, nil
+	}
+	var local []int
+	switch g.cfg.Spanner {
+	case SpannerGabriel:
+		local = view.GabrielNeighbors()
+	case SpannerUDG:
+		local = view.UDGNeighbors()
+	default:
+		local, err = view.LDTGNeighbors(g.cfg.K)
+		if err != nil {
+			return view, nil, nil
+		}
+	}
+	nbrIDs := make([]int, len(local))
+	nbrPts := make([]geom.Point, len(local))
+	for i, li := range local {
+		nbrIDs[i] = ids[li]
+		nbrPts[i] = pts[li]
+	}
+	return view, nbrIDs, nbrPts
+}
+
+// refreshDstLoc updates a message's destination estimate before a routing
+// decision, per the configured knowledge regime and the local location
+// table (§2.3.1).
+func (g *GLR) refreshDstLoc(m *dtn.Message) {
+	if g.cfg.Location == LocAllKnow {
+		m.DstLoc = g.n.OraclePosition(m.Dst)
+		m.DstLocTime = g.n.Now()
+		m.DstLocKnown = true
+		return
+	}
+	if e, ok := g.n.Locations().Get(m.Dst); ok {
+		m.UpdateDstLoc(e.Pos, e.Time, true)
+	}
+}
+
+// routeMessage attempts to forward one stored message (the per-message
+// body of Algorithm 2).
+func (g *GLR) routeMessage(m *dtn.Message, view *ldt.LocalView, nbrIDs []int, nbrPts []geom.Point) {
+	g.refreshDstLoc(m)
+	now := g.n.Now()
+
+	// Direct delivery: the destination is an audible neighbor.
+	if nb, ok := g.n.Neighbors().Get(m.Dst); ok && nb.Pos.Dist(g.n.Pos()) <= g.n.Range() {
+		g.stats.DirectForwards++
+		g.forward(m, map[int]dtn.TreeFlags{m.Dst: m.Flags})
+		return
+	}
+	if view == nil || len(nbrIDs) == 0 {
+		g.noteStuck(m, now)
+		return
+	}
+
+	selfPos := g.n.Pos()
+	// Candidates: LDTG neighbors closer to the destination estimate ("if
+	// there are neighbors closer to destination"), with a small progress
+	// margin so pairs of nodes jostling past each other do not swap
+	// custody every check.
+	type cand struct {
+		id  int
+		pos geom.Point
+		d2  float64
+	}
+	var closer []cand
+	selfD := selfPos.Dist(m.DstLoc)
+	needD := selfD - g.cfg.ProgressHysteresis*g.n.Range()
+	needD2 := needD * needD
+	if needD <= 0 {
+		needD2 = 0
+	}
+	for i, id := range nbrIDs {
+		if d2 := nbrPts[i].Dist2(m.DstLoc); d2 < needD2 {
+			closer = append(closer, cand{id: id, pos: nbrPts[i], d2: d2})
+		}
+	}
+
+	if len(closer) == 0 {
+		if g.cfg.DisableFaceRouting {
+			g.noteStuck(m, now)
+			return
+		}
+		g.tryFaceRoute(m, nbrIDs, nbrPts, now)
+		return
+	}
+	sort.Slice(closer, func(i, j int) bool { return closer[i].d2 < closer[j].d2 })
+
+	// Tree extraction (§2.3): Max = maximum progress (closest to the
+	// destination), Min = least positive progress, Mid = median, with
+	// Mid2/Mid3 interleaved for five-copy operation.
+	pick := func(f dtn.TreeFlags) int {
+		n := len(closer)
+		switch f {
+		case dtn.FlagMax:
+			return 0
+		case dtn.FlagMin:
+			return n - 1
+		case dtn.FlagMid:
+			return n / 2
+		case dtn.FlagMid2:
+			return n / 4
+		default: // FlagMid3
+			return (3 * n) / 4
+		}
+	}
+	targets := make(map[int]dtn.TreeFlags)
+	for _, f := range dtn.AllTreeFlags(5) {
+		if !m.Flags.Has(f) {
+			continue
+		}
+		c := closer[pick(f)]
+		targets[c.id] |= f
+	}
+	delete(g.stuckSince, m.ID)
+	delete(g.face, m.ID)
+	delete(g.faceFailTopo, m.ID)
+	g.stats.GreedyForwards++
+	g.forward(m, targets)
+}
+
+// topoSignature hashes the current LDTG neighbor id set (FNV-1a), used to
+// detect whether the local topology changed since a face walk failed.
+func topoSignature(nbrIDs []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, id := range nbrIDs {
+		h ^= uint64(id) + 1
+		h *= prime64
+	}
+	return h
+}
+
+// tryFaceRoute handles a greedy local minimum: advance the message's face
+// state on the planar LDTG, or store-and-wait when the face walk fails
+// (mobility will change the topology before the next check). A failed
+// walk is not retried until the local neighbor set changes — re-walking
+// the same dead loop every check would burn transmissions for nothing.
+func (g *GLR) tryFaceRoute(m *dtn.Message, nbrIDs []int, nbrPts []geom.Point, now float64) {
+	// A single-neighbor local minimum is a dead end, not a face: handing
+	// the message over just swaps the carrier inside an isolated pair.
+	if len(nbrIDs) < 2 && !g.faceActive(m.ID) {
+		g.noteStuck(m, now)
+		return
+	}
+	sig := topoSignature(nbrIDs)
+	if failedSig, failed := g.faceFailTopo[m.ID]; failed && failedSig == sig {
+		g.noteStuck(m, now)
+		return
+	}
+	if failedAt, failed := g.faceFailAt[m.ID]; failed && now-failedAt < g.cfg.FaceRetryBackoff {
+		g.noteStuck(m, now)
+		return
+	}
+	st := g.face[m.ID]
+	if st == nil {
+		st = &ldt.FaceState{}
+		g.face[m.ID] = st
+	}
+	next, dec := st.Step(g.n.ID(), g.n.Pos(), nbrIDs, nbrPts, m.DstLoc)
+	switch dec {
+	case ldt.FaceForward:
+		g.stats.FaceForwards++
+		delete(g.faceFailTopo, m.ID)
+		g.forward(m, map[int]dtn.TreeFlags{nbrIDs[next]: m.Flags})
+	case ldt.FaceExitGreedy:
+		// We are closer than the face entry point; greedy will resume at
+		// the next check. Clear the face state and treat as waiting.
+		delete(g.face, m.ID)
+		g.noteStuck(m, now)
+	case ldt.FaceFail:
+		g.stats.FaceFailures++
+		delete(g.face, m.ID)
+		g.faceFailTopo[m.ID] = sig
+		g.faceFailAt[m.ID] = now
+		g.noteStuck(m, now)
+	}
+}
+
+// faceActive reports whether a face walk is in progress for the message.
+func (g *GLR) faceActive(id dtn.MessageID) bool {
+	st, ok := g.face[id]
+	return ok && st != nil && st.Active
+}
+
+// noteStuck starts (or checks) the stale-location stuck timer (§3.3).
+// The remedy fires only "when the message reaches a node that is closest
+// to a stale destination location": the carrier must have been stuck for
+// the threshold AND be essentially at the claimed coordinates (within
+// transmission range) with no destination in sight — then the estimate is
+// re-drawn so the closest node "could deliver it out to another node to
+// increase the delivery probability". A carrier merely far away from the
+// estimate keeps waiting: mobility, not relocation, is the cure there.
+func (g *GLR) noteStuck(m *dtn.Message, now float64) {
+	since, ok := g.stuckSince[m.ID]
+	if !ok {
+		g.stuckSince[m.ID] = now
+		return
+	}
+	if now-since < g.cfg.StaleRelocateAfter {
+		return
+	}
+	if g.n.Pos().Dist(m.DstLoc) > g.n.Range() {
+		return // not at the claimed location: keep store-and-waiting
+	}
+	g.stats.Relocations++
+	m.DstLoc = g.n.Region().RandomPoint(g.n.Rand())
+	m.DstLocTime = now
+	m.DstLocKnown = false
+	g.stuckSince[m.ID] = now
+}

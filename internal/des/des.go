@@ -1,0 +1,181 @@
+// Package des implements the discrete-event simulation core: a simulated
+// clock, an event heap with deterministic tie-breaking, and cancellable
+// timers. It replaces the NS-2 scheduler the paper's evaluation ran on.
+//
+// Simulated time is a float64 number of seconds (des.Time). This is a
+// deliberate, documented deviation from the "use time.Duration" guideline:
+// simulated clocks are not wall clocks, and float seconds is the standard
+// currency of network discrete-event simulators (NS-2, ns-3, OMNeT++).
+// Events scheduled for the same instant fire in scheduling order (a
+// monotone sequence number breaks ties), so a run is bit-reproducible for a
+// given seed.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a simulated timestamp in seconds since the start of the run.
+type Time = float64
+
+// Handler is a callback invoked when its event fires. Handlers run on the
+// single simulation goroutine; they may schedule and cancel further events.
+type Handler func()
+
+// EventID identifies a scheduled event for cancellation. The zero EventID
+// is invalid and safe to Cancel (a no-op).
+type EventID uint64
+
+type event struct {
+	at       Time
+	seq      uint64 // tie-break: FIFO among simultaneous events
+	id       EventID
+	fn       Handler
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Scheduler is a discrete-event scheduler. The zero value is not usable;
+// call NewScheduler.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	nextID  EventID
+	pq      eventHeap
+	byID    map[EventID]*event
+	stopped bool
+	// processed counts events actually dispatched (excluding canceled).
+	processed uint64
+}
+
+// NewScheduler returns a scheduler with the clock at 0.
+func NewScheduler() *Scheduler {
+	return &Scheduler{
+		byID:   make(map[EventID]*event),
+		nextID: 1,
+	}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Processed returns the number of events dispatched so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events scheduled and not yet fired or
+// canceled.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, ev := range s.pq {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it is always a logic error in a discrete-event model.
+func (s *Scheduler) At(t Time, fn Handler) EventID {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("des: scheduling event at NaN time")
+	}
+	ev := &event{at: t, seq: s.seq, id: s.nextID, fn: fn}
+	s.seq++
+	s.nextID++
+	s.byID[ev.id] = ev
+	heap.Push(&s.pq, ev)
+	return ev.id
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (s *Scheduler) After(d float64, fn Handler) EventID {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel revokes a scheduled event. Canceling an already-fired, already-
+// canceled, or zero id is a no-op. It reports whether an event was actually
+// revoked.
+func (s *Scheduler) Cancel(id EventID) bool {
+	ev, ok := s.byID[id]
+	if !ok || ev.canceled {
+		return false
+	}
+	ev.canceled = true
+	delete(s.byID, id)
+	return true
+}
+
+// Stop makes Run return after the current event's handler completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run dispatches events in (time, seq) order until the queue empties, the
+// clock passes until, or Stop is called. Events scheduled exactly at until
+// still fire; the clock never exceeds until.
+func (s *Scheduler) Run(until Time) {
+	s.stopped = false
+	for len(s.pq) > 0 && !s.stopped {
+		ev := s.pq[0]
+		if ev.canceled {
+			heap.Pop(&s.pq)
+			continue
+		}
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&s.pq)
+		delete(s.byID, ev.id)
+		s.now = ev.at
+		s.processed++
+		ev.fn()
+	}
+	// Advance the clock to the horizon only on a natural finish; after
+	// Stop (or an unbounded RunAll) the clock stays at the last
+	// dispatched event.
+	if !s.stopped && s.now < until && !math.IsInf(until, 1) {
+		s.now = until
+	}
+}
+
+// RunAll dispatches every remaining event regardless of time. Useful in
+// tests; simulations should prefer Run with a horizon.
+func (s *Scheduler) RunAll() { s.Run(math.Inf(1)) }
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

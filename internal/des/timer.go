@@ -1,0 +1,90 @@
+package des
+
+// Timer is a restartable one-shot timer bound to a scheduler, in the style
+// of protocol timers (retransmission, beacon, route-check). The zero value
+// is not usable; create with NewTimer.
+type Timer struct {
+	sched *Scheduler
+	fn    Handler
+	id    EventID
+	armed bool
+}
+
+// NewTimer returns an unarmed timer that runs fn when it fires.
+func NewTimer(sched *Scheduler, fn Handler) *Timer {
+	return &Timer{sched: sched, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d seconds from now, canceling any
+// pending expiry.
+func (t *Timer) Reset(d float64) {
+	t.Stop()
+	t.armed = true
+	t.id = t.sched.After(d, func() {
+		t.armed = false
+		t.fn()
+	})
+}
+
+// Stop disarms the timer if armed. It reports whether a pending expiry was
+// canceled.
+func (t *Timer) Stop() bool {
+	if !t.armed {
+		return false
+	}
+	t.armed = false
+	return t.sched.Cancel(t.id)
+}
+
+// Armed reports whether the timer is waiting to fire.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Ticker invokes fn every interval seconds until stopped, starting at
+// now + phase. It models periodic protocol behaviour (beaconing, periodic
+// route checks) with an optional phase offset so that nodes do not fire in
+// lockstep.
+type Ticker struct {
+	sched    *Scheduler
+	fn       Handler
+	interval float64
+	id       EventID
+	running  bool
+}
+
+// NewTicker schedules fn every interval seconds, first firing at
+// now + phase. A nonpositive interval panics.
+func NewTicker(sched *Scheduler, interval, phase float64, fn Handler) *Ticker {
+	if interval <= 0 {
+		panic("des: ticker interval must be positive")
+	}
+	t := &Ticker{sched: sched, fn: fn, interval: interval, running: true}
+	t.id = sched.After(phase, t.tick)
+	return t
+}
+
+func (t *Ticker) tick() {
+	if !t.running {
+		return
+	}
+	t.fn()
+	if t.running { // fn may have stopped us
+		t.id = t.sched.After(t.interval, t.tick)
+	}
+}
+
+// Stop halts the ticker. Safe to call multiple times and from within fn.
+func (t *Ticker) Stop() {
+	if !t.running {
+		return
+	}
+	t.running = false
+	t.sched.Cancel(t.id)
+}
+
+// SetInterval changes the period used for subsequent ticks.
+func (t *Ticker) SetInterval(interval float64) {
+	if interval <= 0 {
+		panic("des: ticker interval must be positive")
+	}
+	t.interval = interval
+}

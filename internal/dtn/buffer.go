@@ -1,0 +1,180 @@
+package dtn
+
+// Buffer is a bounded FIFO message store keyed by MessageID. It models the
+// paper's node storage: "When storage is limited and the storage space is
+// fully occupied, old messages are dropped when new messages come in."
+// A capacity of 0 means unlimited.
+type Buffer struct {
+	capacity int
+	order    []MessageID // insertion order (oldest first)
+	byID     map[MessageID]*Message
+	version  uint64         // bumped on every new insertion
+	insLog   []insertRecord // insertion history for delta summaries
+}
+
+// insertRecord is one insertion-log entry: the buffer version right after
+// id was inserted.
+type insertRecord struct {
+	ver uint64
+	id  MessageID
+}
+
+// NewBuffer returns an empty buffer. capacity ≤ 0 means unlimited.
+func NewBuffer(capacity int) *Buffer {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Buffer{capacity: capacity, byID: make(map[MessageID]*Message)}
+}
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// Len returns the number of stored messages.
+func (b *Buffer) Len() int { return len(b.byID) }
+
+// Has reports whether a message with the given id is stored.
+func (b *Buffer) Has(id MessageID) bool {
+	_, ok := b.byID[id]
+	return ok
+}
+
+// Get returns the stored message with the given id, or nil.
+func (b *Buffer) Get(id MessageID) *Message { return b.byID[id] }
+
+// Add inserts m. If a message with the same ID is already present, the
+// tree flags are merged into the existing copy (two copies of one message
+// meeting at a node coalesce) and no eviction happens. Otherwise, when the
+// buffer is full, the oldest message is evicted FIFO. It returns the
+// evicted message (nil if none) and reports whether m's content is now
+// stored (true also for merges).
+func (b *Buffer) Add(m *Message) (evicted *Message, stored bool) {
+	if existing, ok := b.byID[m.ID]; ok {
+		existing.Flags |= m.Flags
+		existing.UpdateDstLoc(m.DstLoc, m.DstLocTime, m.DstLocKnown)
+		return nil, true
+	}
+	if b.capacity > 0 && len(b.byID) >= b.capacity {
+		evicted = b.popOldest()
+	}
+	b.order = append(b.order, m.ID)
+	b.byID[m.ID] = m
+	b.version++
+	b.insLog = append(b.insLog, insertRecord{ver: b.version, id: m.ID})
+	return evicted, true
+}
+
+// Version returns a counter that increments on every new insertion.
+// Anti-entropy peers use it to skip advertising an unchanged buffer.
+func (b *Buffer) Version() uint64 { return b.version }
+
+// InsertedSince returns the ids inserted after version ver that are still
+// held, oldest first — the delta an anti-entropy refresh advertises.
+func (b *Buffer) InsertedSince(ver uint64) []MessageID {
+	// Binary search the log for the first record newer than ver.
+	lo, hi := 0, len(b.insLog)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.insLog[mid].ver <= ver {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	var out []MessageID
+	seen := make(map[MessageID]struct{})
+	for _, rec := range b.insLog[lo:] {
+		if _, dup := seen[rec.id]; dup {
+			continue
+		}
+		seen[rec.id] = struct{}{}
+		if b.Has(rec.id) {
+			out = append(out, rec.id)
+		}
+	}
+	return out
+}
+
+// Remove deletes and returns the message with the given id, or nil. The
+// deletion is O(n) in the buffer size, which is bounded by the paper's
+// storage limits (≤ a few hundred messages).
+func (b *Buffer) Remove(id MessageID) *Message {
+	m, ok := b.byID[id]
+	if !ok {
+		return nil
+	}
+	delete(b.byID, id)
+	for i, o := range b.order {
+		if o == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+	return m
+}
+
+// popOldest removes and returns the oldest message.
+func (b *Buffer) popOldest() *Message {
+	if len(b.order) == 0 {
+		return nil
+	}
+	id := b.order[0]
+	b.order = b.order[1:]
+	m := b.byID[id]
+	delete(b.byID, id)
+	return m
+}
+
+// Messages returns the stored messages oldest-first. The slice is freshly
+// allocated; the *Message values are the live stored messages.
+func (b *Buffer) Messages() []*Message {
+	out := make([]*Message, 0, len(b.order))
+	for _, id := range b.order {
+		out = append(out, b.byID[id])
+	}
+	return out
+}
+
+// IDs returns the stored message ids oldest-first.
+func (b *Buffer) IDs() []MessageID {
+	msgs := b.Messages()
+	out := make([]MessageID, len(msgs))
+	for i, m := range msgs {
+		out[i] = m.ID
+	}
+	return out
+}
+
+// SummaryVector is the set of message ids a node advertises during
+// epidemic anti-entropy exchange.
+type SummaryVector map[MessageID]struct{}
+
+// Summary returns the buffer's current summary vector.
+func (b *Buffer) Summary() SummaryVector {
+	sv := make(SummaryVector, len(b.byID))
+	for id := range b.byID {
+		sv[id] = struct{}{}
+	}
+	return sv
+}
+
+// Has reports whether id is in the vector.
+func (sv SummaryVector) Has(id MessageID) bool {
+	_, ok := sv[id]
+	return ok
+}
+
+// Add inserts id into the vector.
+func (sv SummaryVector) Add(id MessageID) { sv[id] = struct{}{} }
+
+// Missing returns the ids present in other but absent from sv — the
+// messages the peer should transfer to us.
+func (sv SummaryVector) Missing(other SummaryVector) []MessageID {
+	var out []MessageID
+	for id := range other {
+		if !sv.Has(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

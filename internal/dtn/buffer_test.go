@@ -1,0 +1,167 @@
+package dtn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func msg(src, seq int) *Message {
+	return &Message{ID: MessageID{Src: src, Seq: seq}}
+}
+
+func TestBufferFIFOEviction(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 3; i++ {
+		if ev, ok := b.Add(msg(0, i)); ev != nil || !ok {
+			t.Fatalf("unexpected eviction at %d", i)
+		}
+	}
+	ev, ok := b.Add(msg(0, 3))
+	if !ok || ev == nil || ev.ID != (MessageID{0, 0}) {
+		t.Fatalf("expected eviction of oldest, got %v", ev)
+	}
+	if b.Len() != 3 || b.Has(MessageID{0, 0}) {
+		t.Error("buffer should hold the 3 newest messages")
+	}
+	want := []MessageID{{0, 1}, {0, 2}, {0, 3}}
+	for i, id := range b.IDs() {
+		if id != want[i] {
+			t.Errorf("order[%d] = %v, want %v", i, id, want[i])
+		}
+	}
+}
+
+func TestBufferUnlimited(t *testing.T) {
+	b := NewBuffer(0)
+	for i := 0; i < 1000; i++ {
+		if ev, _ := b.Add(msg(0, i)); ev != nil {
+			t.Fatal("unlimited buffer must never evict")
+		}
+	}
+	if b.Len() != 1000 {
+		t.Errorf("Len = %d, want 1000", b.Len())
+	}
+	if NewBuffer(-5).Capacity() != 0 {
+		t.Error("negative capacity should normalize to unlimited")
+	}
+}
+
+func TestBufferMergeFlags(t *testing.T) {
+	b := NewBuffer(2)
+	m1 := msg(1, 1)
+	m1.Flags = FlagMax
+	b.Add(m1)
+	m2 := msg(1, 1)
+	m2.Flags = FlagMin
+	ev, ok := b.Add(m2)
+	if ev != nil || !ok {
+		t.Fatal("merging a duplicate must not evict")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after merge", b.Len())
+	}
+	if got := b.Get(MessageID{1, 1}).Flags; got != FlagMax|FlagMin {
+		t.Errorf("merged flags = %v, want max|min", got)
+	}
+}
+
+func TestBufferRemove(t *testing.T) {
+	b := NewBuffer(5)
+	b.Add(msg(0, 0))
+	b.Add(msg(0, 1))
+	if m := b.Remove(MessageID{0, 0}); m == nil {
+		t.Fatal("remove should return the message")
+	}
+	if b.Remove(MessageID{0, 0}) != nil {
+		t.Error("double remove should return nil")
+	}
+	if b.Len() != 1 {
+		t.Errorf("Len = %d, want 1", b.Len())
+	}
+}
+
+func TestBufferRemoveReAddKeepsFIFOExact(t *testing.T) {
+	b := NewBuffer(3)
+	b.Add(msg(0, 0))
+	b.Add(msg(0, 1))
+	b.Add(msg(0, 2))
+	// Re-adding 0 after removal makes it the NEWEST.
+	b.Remove(MessageID{0, 0})
+	b.Add(msg(0, 0))
+	ev, _ := b.Add(msg(0, 3))
+	if ev == nil || ev.ID != (MessageID{0, 1}) {
+		t.Errorf("eviction order wrong after re-add: evicted %v, want m0.1", ev)
+	}
+}
+
+func TestBufferMessagesOrder(t *testing.T) {
+	b := NewBuffer(0)
+	for i := 0; i < 10; i++ {
+		b.Add(msg(0, i))
+	}
+	b.Remove(MessageID{0, 5})
+	msgs := b.Messages()
+	if len(msgs) != 9 {
+		t.Fatalf("got %d messages", len(msgs))
+	}
+	prev := -1
+	for _, m := range msgs {
+		if m.ID.Seq <= prev {
+			t.Fatal("messages not in insertion order")
+		}
+		prev = m.ID.Seq
+	}
+}
+
+// Property: buffer never exceeds capacity, and total added = held +
+// evicted + removed.
+func TestBufferConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		capn := 1 + rng.Intn(10)
+		b := NewBuffer(capn)
+		added, evicted, removed, merged := 0, 0, 0, 0
+		for op := 0; op < 200; op++ {
+			id := MessageID{Src: 0, Seq: rng.Intn(30)}
+			if rng.Intn(2) == 0 {
+				if b.Has(id) {
+					merged++
+				} else {
+					added++
+				}
+				if ev, _ := b.Add(&Message{ID: id}); ev != nil {
+					evicted++
+				}
+			} else if b.Remove(id) != nil {
+				removed++
+			}
+			if b.Len() > capn {
+				t.Fatalf("buffer exceeded capacity: %d > %d", b.Len(), capn)
+			}
+		}
+		if added != b.Len()+evicted+removed {
+			t.Fatalf("conservation violated: added=%d held=%d evicted=%d removed=%d",
+				added, b.Len(), evicted, removed)
+		}
+	}
+}
+
+func TestSummaryVector(t *testing.T) {
+	b := NewBuffer(0)
+	b.Add(msg(1, 1))
+	b.Add(msg(2, 2))
+	sv := b.Summary()
+	if !sv.Has(MessageID{1, 1}) || !sv.Has(MessageID{2, 2}) || sv.Has(MessageID{3, 3}) {
+		t.Error("summary vector content wrong")
+	}
+	other := make(SummaryVector)
+	other.Add(MessageID{2, 2})
+	other.Add(MessageID{9, 9})
+	missing := sv.Missing(other)
+	if len(missing) != 1 || missing[0] != (MessageID{9, 9}) {
+		t.Errorf("Missing = %v, want [m9.9]", missing)
+	}
+	if got := other.Missing(sv); len(got) != 1 || got[0] != (MessageID{1, 1}) {
+		t.Errorf("reverse Missing = %v, want [m1.1]", got)
+	}
+}

@@ -1,0 +1,167 @@
+package dtn
+
+import (
+	"sort"
+
+	"glr/internal/geom"
+)
+
+// LocationEntry is one row of a node's location table: where a node was
+// last known to be, and when that knowledge originated (§2.3.1: "Each node
+// keeps a table of other nodes' location information together with their
+// IDs and time stamps").
+type LocationEntry struct {
+	Pos  geom.Point
+	Time float64
+}
+
+// LocationTable maps node ids to their freshest known location. The zero
+// value is not usable; create with NewLocationTable.
+type LocationTable struct {
+	entries map[int]LocationEntry
+}
+
+// NewLocationTable returns an empty table.
+func NewLocationTable() *LocationTable {
+	return &LocationTable{entries: make(map[int]LocationEntry)}
+}
+
+// Len returns the number of known nodes.
+func (t *LocationTable) Len() int { return len(t.entries) }
+
+// Update records pos for node id if the timestamp is fresher than the
+// current entry. It reports whether the table changed.
+func (t *LocationTable) Update(id int, pos geom.Point, time float64) bool {
+	if cur, ok := t.entries[id]; ok && time <= cur.Time {
+		return false
+	}
+	t.entries[id] = LocationEntry{Pos: pos, Time: time}
+	return true
+}
+
+// Get returns the entry for id.
+func (t *LocationTable) Get(id int) (LocationEntry, bool) {
+	e, ok := t.entries[id]
+	return e, ok
+}
+
+// Merge adopts every entry of other that is fresher than ours, returning
+// the number of rows updated. This is the "location tables should be
+// exchanged whenever two nodes meet" mechanism (the paper measures the
+// lighter piggyback variant; Merge supports the full exchange).
+func (t *LocationTable) Merge(other *LocationTable) int {
+	n := 0
+	for id, e := range other.entries {
+		if t.Update(id, e.Pos, e.Time) {
+			n++
+		}
+	}
+	return n
+}
+
+// IDs returns the known node ids in ascending order.
+func (t *LocationTable) IDs() []int {
+	out := make([]int, 0, len(t.entries))
+	for id := range t.entries {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NeighborNeighbor is a (node, position) pair inside a beacon: one of the
+// beaconing node's own 1-hop neighbors. Beacons carrying these give every
+// listener its distance-2 neighborhood, matching "nodes collect distance
+// two neighborhood information to construct LDTG in the experiments".
+type NeighborNeighbor struct {
+	ID  int
+	Pos geom.Point
+}
+
+// NeighborInfo is one row of a node's neighbor table.
+type NeighborInfo struct {
+	ID        int
+	Pos       geom.Point
+	LastSeen  float64
+	Neighbors []NeighborNeighbor // the neighbor's own 1-hop neighborhood
+}
+
+// NeighborTable tracks currently-audible neighbors with expiry, fed by
+// periodic beacons. The zero value is not usable; create with
+// NewNeighborTable.
+type NeighborTable struct {
+	rows map[int]NeighborInfo
+}
+
+// NewNeighborTable returns an empty table.
+func NewNeighborTable() *NeighborTable {
+	return &NeighborTable{rows: make(map[int]NeighborInfo)}
+}
+
+// Len returns the number of live rows.
+func (t *NeighborTable) Len() int { return len(t.rows) }
+
+// Observe inserts or refreshes a neighbor row.
+func (t *NeighborTable) Observe(info NeighborInfo) {
+	t.rows[info.ID] = info
+}
+
+// Get returns the row for id.
+func (t *NeighborTable) Get(id int) (NeighborInfo, bool) {
+	r, ok := t.rows[id]
+	return r, ok
+}
+
+// Remove drops the row for id.
+func (t *NeighborTable) Remove(id int) { delete(t.rows, id) }
+
+// Expire drops every row last seen at or before deadline and returns the
+// expired ids in ascending order.
+func (t *NeighborTable) Expire(deadline float64) []int {
+	var gone []int
+	for id, r := range t.rows {
+		if r.LastSeen <= deadline {
+			gone = append(gone, id)
+			delete(t.rows, id)
+		}
+	}
+	sort.Ints(gone)
+	return gone
+}
+
+// Snapshot returns all live rows sorted by id.
+func (t *NeighborTable) Snapshot() []NeighborInfo {
+	out := make([]NeighborInfo, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// TwoHopPoints assembles the distance-≤2 neighborhood point set around a
+// node at selfPos: the node itself, every live neighbor, and every
+// neighbor-of-neighbor (deduplicated, excluding ids in exclude). It
+// returns parallel slices of ids and positions with the node itself first.
+// This is the input the GLR protocol triangulates.
+func (t *NeighborTable) TwoHopPoints(selfID int, selfPos geom.Point) (ids []int, pts []geom.Point) {
+	ids = append(ids, selfID)
+	pts = append(pts, selfPos)
+	seen := map[int]struct{}{selfID: {}}
+	for _, r := range t.Snapshot() {
+		if _, dup := seen[r.ID]; !dup {
+			seen[r.ID] = struct{}{}
+			ids = append(ids, r.ID)
+			pts = append(pts, r.Pos)
+		}
+		for _, nn := range r.Neighbors {
+			if _, dup := seen[nn.ID]; dup {
+				continue
+			}
+			seen[nn.ID] = struct{}{}
+			ids = append(ids, nn.ID)
+			pts = append(pts, nn.Pos)
+		}
+	}
+	return ids, pts
+}

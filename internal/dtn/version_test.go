@@ -1,0 +1,91 @@
+package dtn
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBufferVersionBumpsOnInsertOnly(t *testing.T) {
+	b := NewBuffer(0)
+	v0 := b.Version()
+	b.Add(msg(0, 1))
+	if b.Version() != v0+1 {
+		t.Error("insert should bump version")
+	}
+	b.Add(msg(0, 1)) // merge, not insert
+	if b.Version() != v0+1 {
+		t.Error("merge must not bump version")
+	}
+	b.Remove(MessageID{0, 1})
+	if b.Version() != v0+1 {
+		t.Error("removal must not bump version")
+	}
+	b.Add(msg(0, 1)) // re-insert
+	if b.Version() != v0+2 {
+		t.Error("re-insert should bump version")
+	}
+}
+
+func TestInsertedSince(t *testing.T) {
+	b := NewBuffer(0)
+	b.Add(msg(0, 1))
+	v1 := b.Version()
+	b.Add(msg(0, 2))
+	b.Add(msg(0, 3))
+	got := b.InsertedSince(v1)
+	want := []MessageID{{0, 2}, {0, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("InsertedSince = %v, want %v", got, want)
+	}
+	if got := b.InsertedSince(b.Version()); len(got) != 0 {
+		t.Errorf("nothing inserted since current version, got %v", got)
+	}
+	if got := b.InsertedSince(0); len(got) != 3 {
+		t.Errorf("InsertedSince(0) = %v, want all 3", got)
+	}
+}
+
+func TestInsertedSinceSkipsEvicted(t *testing.T) {
+	b := NewBuffer(2)
+	b.Add(msg(0, 1))
+	b.Add(msg(0, 2))
+	b.Add(msg(0, 3)) // evicts m0.1
+	got := b.InsertedSince(0)
+	want := []MessageID{{0, 2}, {0, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("InsertedSince must skip evicted ids: %v", got)
+	}
+}
+
+func TestInsertedSinceDedupesReinsertions(t *testing.T) {
+	b := NewBuffer(0)
+	b.Add(msg(0, 1))
+	b.Remove(MessageID{0, 1})
+	b.Add(msg(0, 1))
+	got := b.InsertedSince(0)
+	if len(got) != 1 || got[0] != (MessageID{0, 1}) {
+		t.Errorf("re-inserted id should appear once: %v", got)
+	}
+}
+
+func TestCustodyReturnToStore(t *testing.T) {
+	c := NewCustodyStore(0)
+	m := msg(1, 1)
+	c.Add(m)
+	if c.ReturnToStore(m.ID) != nil {
+		t.Error("ReturnToStore of a non-cached message should be nil")
+	}
+	c.MarkSent(m.ID, 5)
+	got := c.ReturnToStore(m.ID)
+	if got != m {
+		t.Fatal("ReturnToStore should move the cached message back")
+	}
+	if c.StoreLen() != 1 || c.CacheLen() != 0 {
+		t.Error("message should be back in the Store")
+	}
+	// The old send timestamp must be gone: an immediate expire sweep
+	// with a late deadline must not double-move anything.
+	if moved := c.ExpireCache(100); len(moved) != 0 {
+		t.Error("nothing should remain cached")
+	}
+}

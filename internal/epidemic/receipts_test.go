@@ -1,0 +1,80 @@
+package epidemic
+
+import (
+	"testing"
+
+	"glr/internal/sim"
+)
+
+func TestActiveReceiptsPurgeBuffers(t *testing.T) {
+	// With active receipts, delivered messages are purged from the
+	// network instead of lingering in every buffer.
+	run := func(receipts bool) (delivered int, heldCopies int) {
+		s := denseScenario(51)
+		s.SimTime = 200
+		cfg := DefaultConfig()
+		cfg.ActiveReceipts = receipts
+		factory, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eps []*Epidemic
+		w, err := sim.NewWorld(s, func(n *sim.Node) sim.Protocol {
+			p := factory(n)
+			eps = append(eps, p.(*Epidemic))
+			return p
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := w.Run()
+		held := 0
+		for _, e := range eps {
+			held += e.Buffer().Len()
+		}
+		return r.Delivered, held
+	}
+	delWith, heldWith := run(true)
+	delWithout, heldWithout := run(false)
+	if delWith < delWithout-1 {
+		t.Errorf("receipts must not hurt delivery much: %d vs %d", delWith, delWithout)
+	}
+	if heldWith >= heldWithout {
+		t.Errorf("receipts should purge copies: held %d with vs %d without", heldWith, heldWithout)
+	}
+}
+
+func TestReceiptsImmuniseAgainstReinfection(t *testing.T) {
+	// After a receipt spreads, nodes refuse to re-buffer the message.
+	s := denseScenario(52)
+	s.SimTime = 150
+	s.Traffic = []sim.TrafficItem{{Src: 0, Dst: 9, At: 5}}
+	cfg := DefaultConfig()
+	cfg.ActiveReceipts = true
+	factory, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eps []*Epidemic
+	w, err := sim.NewWorld(s, func(n *sim.Node) sim.Protocol {
+		p := factory(n)
+		eps = append(eps, p.(*Epidemic))
+		return p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := w.Run()
+	if r.Delivered != 1 {
+		t.Fatalf("message not delivered")
+	}
+	// In a dense network the receipt reaches everyone: no node should
+	// still hold the delivered message.
+	held := 0
+	for _, e := range eps {
+		held += e.Buffer().Len()
+	}
+	if held > 2 {
+		t.Errorf("%d lingering copies after receipt spread", held)
+	}
+}

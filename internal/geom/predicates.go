@@ -1,0 +1,144 @@
+package geom
+
+import "math/big"
+
+// Robust geometric predicates.
+//
+// The fast path evaluates the predicate determinant in float64 and accepts
+// the result when its magnitude exceeds a conservative forward error bound
+// (constants following Shewchuk, "Adaptive Precision Floating-Point
+// Arithmetic and Fast Robust Geometric Predicates"). When the result is too
+// close to zero to be trusted, we recompute exactly with math/big rationals;
+// every float64 is exactly representable as a big.Rat, so the slow path is
+// fully exact.
+
+const (
+	// ccwErrBound bounds the rounding error of the 2x2 orientation
+	// determinant: 3u + 16u² with u = 2^-53, times the magnitude sum.
+	ccwErrBound = 3.3306690738754716e-16
+	// iccErrBound is the corresponding first-order bound for the 4x4
+	// in-circle determinant: (10 + 96u)u.
+	iccErrBound = 1.1102230246251577e-15
+)
+
+// Orient returns a value whose sign classifies the turn a→b→c:
+// positive when counterclockwise, negative when clockwise, and exactly zero
+// when the three points are collinear. The magnitude is twice the signed
+// triangle area (meaningful only on the fast path).
+func Orient(a, b, c Point) float64 {
+	detl := (a.X - c.X) * (b.Y - c.Y)
+	detr := (a.Y - c.Y) * (b.X - c.X)
+	det := detl - detr
+	var detsum float64
+	switch {
+	case detl > 0:
+		if detr <= 0 {
+			return det
+		}
+		detsum = detl + detr
+	case detl < 0:
+		if detr >= 0 {
+			return det
+		}
+		detsum = -detl - detr
+	default:
+		return det
+	}
+	if det >= ccwErrBound*detsum || -det >= ccwErrBound*detsum {
+		return det
+	}
+	return orientExact(a, b, c)
+}
+
+func orientExact(a, b, c Point) float64 {
+	ax := new(big.Rat).SetFloat64(a.X)
+	ay := new(big.Rat).SetFloat64(a.Y)
+	bx := new(big.Rat).SetFloat64(b.X)
+	by := new(big.Rat).SetFloat64(b.Y)
+	cx := new(big.Rat).SetFloat64(c.X)
+	cy := new(big.Rat).SetFloat64(c.Y)
+
+	acx := new(big.Rat).Sub(ax, cx)
+	bcy := new(big.Rat).Sub(by, cy)
+	acy := new(big.Rat).Sub(ay, cy)
+	bcx := new(big.Rat).Sub(bx, cx)
+
+	l := new(big.Rat).Mul(acx, bcy)
+	r := new(big.Rat).Mul(acy, bcx)
+	det := l.Sub(l, r)
+	return float64(det.Sign())
+}
+
+// InCircle returns a value whose sign reports the position of d relative to
+// the circle through a, b, c (which must be in counterclockwise order):
+// positive when d is strictly inside, negative when strictly outside, zero
+// when on the circle. If a, b, c are clockwise the sign is flipped.
+func InCircle(a, b, c, d Point) float64 {
+	adx := a.X - d.X
+	ady := a.Y - d.Y
+	bdx := b.X - d.X
+	bdy := b.Y - d.Y
+	cdx := c.X - d.X
+	cdy := c.Y - d.Y
+
+	bdxcdy := bdx * cdy
+	cdxbdy := cdx * bdy
+	alift := adx*adx + ady*ady
+
+	cdxady := cdx * ady
+	adxcdy := adx * cdy
+	blift := bdx*bdx + bdy*bdy
+
+	adxbdy := adx * bdy
+	bdxady := bdx * ady
+	clift := cdx*cdx + cdy*cdy
+
+	det := alift*(bdxcdy-cdxbdy) + blift*(cdxady-adxcdy) + clift*(adxbdy-bdxady)
+
+	permanent := (abs(bdxcdy)+abs(cdxbdy))*alift +
+		(abs(cdxady)+abs(adxcdy))*blift +
+		(abs(adxbdy)+abs(bdxady))*clift
+	errbound := iccErrBound * permanent
+	if det > errbound || -det > errbound {
+		return det
+	}
+	return inCircleExact(a, b, c, d)
+}
+
+func inCircleExact(a, b, c, d Point) float64 {
+	toRat := func(f float64) *big.Rat { return new(big.Rat).SetFloat64(f) }
+	adx := new(big.Rat).Sub(toRat(a.X), toRat(d.X))
+	ady := new(big.Rat).Sub(toRat(a.Y), toRat(d.Y))
+	bdx := new(big.Rat).Sub(toRat(b.X), toRat(d.X))
+	bdy := new(big.Rat).Sub(toRat(b.Y), toRat(d.Y))
+	cdx := new(big.Rat).Sub(toRat(c.X), toRat(d.X))
+	cdy := new(big.Rat).Sub(toRat(c.Y), toRat(d.Y))
+
+	lift := func(x, y *big.Rat) *big.Rat {
+		xx := new(big.Rat).Mul(x, x)
+		yy := new(big.Rat).Mul(y, y)
+		return xx.Add(xx, yy)
+	}
+	alift := lift(adx, ady)
+	blift := lift(bdx, bdy)
+	clift := lift(cdx, cdy)
+
+	minor := func(px, py, qx, qy *big.Rat) *big.Rat {
+		l := new(big.Rat).Mul(px, qy)
+		r := new(big.Rat).Mul(qx, py)
+		return l.Sub(l, r)
+	}
+	det := new(big.Rat).Mul(alift, minor(bdx, bdy, cdx, cdy))
+	t := new(big.Rat).Mul(blift, minor(cdx, cdy, adx, ady))
+	det.Add(det, t)
+	t = new(big.Rat).Mul(clift, minor(adx, ady, bdx, bdy))
+	det.Add(det, t)
+	return float64(det.Sign())
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

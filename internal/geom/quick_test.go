@@ -1,0 +1,39 @@
+package geom
+
+import (
+	"math/rand"
+	"reflect"
+)
+
+// boundedPointsValues returns a testing/quick value generator that produces
+// a single []Point argument of length n with coordinates uniform in
+// [-bound, bound]. Using bounded coordinates keeps the geometric predicates
+// in a regime where the properties under test are meaningful (no overflow
+// to ±Inf).
+func boundedPointsValues(n int, bound float64) func([]reflect.Value, *rand.Rand) {
+	return func(args []reflect.Value, rng *rand.Rand) {
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{
+				X: (rng.Float64()*2 - 1) * bound,
+				Y: (rng.Float64()*2 - 1) * bound,
+			}
+		}
+		args[0] = reflect.ValueOf(pts)
+	}
+}
+
+// randomPoints returns n distinct points uniform in [0,w]×[0,h].
+func randomPoints(rng *rand.Rand, n int, w, h float64) []Point {
+	pts := make([]Point, 0, n)
+	seen := make(map[Point]struct{}, n)
+	for len(pts) < n {
+		p := Point{X: rng.Float64() * w, Y: rng.Float64() * h}
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		pts = append(pts, p)
+	}
+	return pts
+}

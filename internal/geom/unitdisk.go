@@ -1,0 +1,35 @@
+package geom
+
+import "math"
+
+// UnitDiskGraph returns the graph connecting every pair of points at
+// Euclidean distance ≤ r. This is the connectivity model of the paper: two
+// nodes can communicate exactly when they are within transmission range.
+func UnitDiskGraph(pts []Point, r float64) *Graph {
+	g := NewGraph(len(pts))
+	r2 := r * r
+	for i := 0; i < len(pts); i++ {
+		for j := i + 1; j < len(pts); j++ {
+			if pts[i].Dist2(pts[j]) <= r2 {
+				g.AddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+// ConnectivityThreshold returns the critical radius r* above which a random
+// geometric graph of n uniform nodes in a region of the given area is
+// connected with probability at least 1 − 1/s (Georgiou, Kranakis,
+// Marcelín-Jiménez, Rajsbaum, Urrutia 2005): for the unit square,
+// r_n ≥ sqrt((ln n + ln s)/(n·π)); scaling a square of area A multiplies
+// distances by sqrt(A).
+//
+// GLR's Algorithm 1 compares the node transmission range against this
+// threshold to decide between single-copy and multi-copy delivery.
+func ConnectivityThreshold(n int, area, s float64) float64 {
+	if n <= 1 || area <= 0 || s <= 1 {
+		return 0
+	}
+	return math.Sqrt(area * (math.Log(float64(n)) + math.Log(s)) / (float64(n) * math.Pi))
+}

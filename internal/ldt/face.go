@@ -1,0 +1,177 @@
+package ldt
+
+import (
+	"math"
+
+	"glr/internal/geom"
+)
+
+// Face routing (the paper's escape hatch for greedy local minima, §2.3:
+// "Face routing technique is applied when nodes enter local minimum").
+// The implementation follows the classical perimeter-mode rules of
+// Bose–Morin–Stojmenović–Urrutia / GPSR on the planar LDTG:
+//
+//   - traverse the current face with the right-hand rule (next edge
+//     counterclockwise from the ingress direction);
+//   - when the candidate edge crosses the entry→destination segment at a
+//     point strictly closer to the destination than any previous
+//     crossing, switch to the adjacent face;
+//   - return to greedy forwarding as soon as the packet reaches a node
+//     strictly closer to the destination than where it entered face mode;
+//   - declare failure (in a DTN: store and retry after mobility) when the
+//     first edge of the current face is about to be re-traversed.
+
+// FaceState is the perimeter-mode state carried with a message copy. The
+// zero value means "not in face mode".
+type FaceState struct {
+	Active    bool
+	EntryPos  geom.Point // Lp: where greedy failed
+	EntryDist float64    // |Lp − D|
+	CrossDist float64    // |Lf − D|: best crossing of LpD so far
+	FirstFrom int        // first directed edge of the current face…
+	FirstTo   int        // …for loop detection
+	HavePrev  bool
+	PrevPos   geom.Point // position of the node that forwarded to us
+}
+
+// FaceDecision is the outcome of one face-routing step.
+type FaceDecision int
+
+// Face-routing outcomes.
+const (
+	// FaceForward: forward to the returned neighbor index.
+	FaceForward FaceDecision = iota
+	// FaceExitGreedy: the current node is closer to the destination than
+	// the face-entry point; resume greedy forwarding (state cleared).
+	FaceExitGreedy
+	// FaceFail: the face has been fully traversed without progress; the
+	// destination is unreachable in the current topology.
+	FaceFail
+)
+
+// Enter initialises face mode at a local minimum.
+func (s *FaceState) Enter(selfPos, dstPos geom.Point) {
+	*s = FaceState{
+		Active:    true,
+		EntryPos:  selfPos,
+		EntryDist: selfPos.Dist(dstPos),
+		CrossDist: selfPos.Dist(dstPos),
+		FirstFrom: -1,
+		FirstTo:   -1,
+	}
+}
+
+// Clear leaves face mode.
+func (s *FaceState) Clear() { *s = FaceState{} }
+
+// Step executes one face-routing decision at node selfID located at
+// selfPos, whose current planar-graph neighbors are nbrIDs/nbrPts
+// (parallel slices), heading for dstPos. On FaceForward the first return
+// value is the index into nbrIDs of the chosen next hop and the state has
+// been updated (PrevPos set) ready to travel with the message.
+func (s *FaceState) Step(selfID int, selfPos geom.Point, nbrIDs []int, nbrPts []geom.Point, dstPos geom.Point) (int, FaceDecision) {
+	if !s.Active {
+		s.Enter(selfPos, dstPos)
+	}
+	if selfPos.Dist(dstPos) < s.EntryDist {
+		s.Clear()
+		return -1, FaceExitGreedy
+	}
+	if len(nbrIDs) == 0 {
+		return -1, FaceFail
+	}
+
+	// Ingress direction: from self toward the node that sent us the
+	// message, or toward the destination when face mode just started.
+	var ingress float64
+	if s.HavePrev {
+		ingress = selfPos.AngleTo(s.PrevPos)
+	} else {
+		ingress = selfPos.AngleTo(dstPos)
+	}
+
+	// Right-hand rule with face changes. Each face change re-aims the
+	// ingress at the crossing edge; bounded by the neighbor count.
+	next := firstCCW(selfPos, ingress, nbrPts)
+	for iter := 0; iter <= len(nbrIDs); iter++ {
+		x, crosses := properIntersection(selfPos, nbrPts[next], s.EntryPos, dstPos)
+		if !crosses || x.Dist(dstPos) >= s.CrossDist {
+			break
+		}
+		// Crossing closer to the destination: switch to the adjacent
+		// face. The crossed edge becomes the new ingress; the face's
+		// first-edge marker resets.
+		s.CrossDist = x.Dist(dstPos)
+		s.FirstFrom, s.FirstTo = -1, -1
+		ingress = selfPos.AngleTo(nbrPts[next])
+		next = firstCCW(selfPos, ingress, nbrPts)
+	}
+
+	if s.FirstFrom == selfID && s.FirstTo == nbrIDs[next] {
+		return -1, FaceFail // completed a full face loop
+	}
+	if s.FirstFrom == -1 {
+		s.FirstFrom = selfID
+		s.FirstTo = nbrIDs[next]
+	}
+	s.HavePrev = true
+	s.PrevPos = selfPos
+	return next, FaceForward
+}
+
+// firstCCW returns the index of the neighbor whose bearing from center is
+// the smallest strictly-positive counterclockwise rotation from dir;
+// a neighbor exactly at dir (e.g. the previous hop) is treated as a full
+// turn, making "go back" the last resort.
+func firstCCW(center geom.Point, dir float64, nbrPts []geom.Point) int {
+	best := -1
+	bestTurn := math.Inf(1)
+	for i, p := range nbrPts {
+		turn := math.Mod(center.AngleTo(p)-dir, 2*math.Pi)
+		if turn < 0 {
+			turn += 2 * math.Pi
+		}
+		if turn == 0 {
+			turn = 2 * math.Pi
+		}
+		if turn < bestTurn {
+			bestTurn = turn
+			best = i
+		}
+	}
+	return best
+}
+
+// properIntersection returns the intersection point of open segments ab
+// and cd when they properly cross.
+func properIntersection(a, b, c, d geom.Point) (geom.Point, bool) {
+	if !geom.SegmentsProperlyIntersect(a, b, c, d) {
+		return geom.Point{}, false
+	}
+	r := b.Sub(a)
+	q := d.Sub(c)
+	denom := r.Cross(q)
+	if denom == 0 {
+		return geom.Point{}, false
+	}
+	t := c.Sub(a).Cross(q) / denom
+	return a.Add(r.Scale(t)), true
+}
+
+// GreedyNeighbor returns the index (into nbrPts) of the neighbor that
+// makes maximum progress toward dstPos — the strictly-closer neighbor
+// nearest to the destination — or -1 when no neighbor is strictly closer
+// (a local minimum). This is the paper's MaxDSTD next-hop choice.
+func GreedyNeighbor(selfPos geom.Point, nbrPts []geom.Point, dstPos geom.Point) int {
+	self := selfPos.Dist2(dstPos)
+	best := -1
+	bestD := self
+	for i, p := range nbrPts {
+		d := p.Dist2(dstPos)
+		if d < bestD {
+			bestD = d
+			best = i
+		}
+	}
+	return best
+}

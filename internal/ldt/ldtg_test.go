@@ -1,0 +1,299 @@
+package ldt
+
+import (
+	"math/rand"
+	"testing"
+
+	"glr/internal/geom"
+)
+
+func randomPoints(rng *rand.Rand, n int, w, h float64) []geom.Point {
+	pts := make([]geom.Point, 0, n)
+	seen := make(map[geom.Point]struct{}, n)
+	for len(pts) < n {
+		p := geom.Pt(rng.Float64()*w, rng.Float64()*h)
+		if _, dup := seen[p]; dup {
+			continue
+		}
+		seen[p] = struct{}{}
+		pts = append(pts, p)
+	}
+	return pts
+}
+
+func TestBuildLDTGRejectsBadK(t *testing.T) {
+	if _, err := BuildLDTG(nil, 100, 0); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+}
+
+func TestLDTGSubgraphOfUDG(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		pts := randomPoints(rng, 40, 1000, 1000)
+		const r = 250
+		g, err := BuildLDTG(pts, r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range g.Edges() {
+			if pts[e[0]].Dist(pts[e[1]]) > r {
+				t.Fatalf("LDTG edge %v longer than radius", e)
+			}
+		}
+	}
+}
+
+func TestLDTGPlanarK2(t *testing.T) {
+	// Li–Calinescu–Wan: the k-localized Delaunay graph is planar for
+	// k ≥ 2. This is the paper's central structural claim for the
+	// routing graph.
+	rng := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 15; trial++ {
+		pts := randomPoints(rng, 35, 800, 800)
+		for _, r := range []float64{150, 250, 400} {
+			g, err := BuildLDTG(pts, r, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !g.IsPlanarEmbedding(pts) {
+				t.Fatalf("2-LDTG not planar (trial %d, r=%v)", trial, r)
+			}
+		}
+	}
+}
+
+func TestLDTGContainsGabrielGraph(t *testing.T) {
+	// Gabriel edges have an empty diametral disk, so they survive every
+	// local Delaunay test; GG∩UDG ⊆ LDTG gives connectivity.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 10; trial++ {
+		pts := randomPoints(rng, 40, 1000, 1000)
+		const r = 300
+		g, err := BuildLDTG(pts, r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gg := GabrielGraph(pts, r)
+		for _, e := range gg.Edges() {
+			if !g.HasEdge(e[0], e[1]) {
+				t.Fatalf("Gabriel edge %v missing from LDTG", e)
+			}
+		}
+	}
+}
+
+func TestLDTGConnectedWhenUDGConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	done := 0
+	for trial := 0; done < 10 && trial < 200; trial++ {
+		pts := randomPoints(rng, 50, 1000, 1000)
+		const r = 260 // comfortably above the connectivity threshold
+		if !geom.UnitDiskGraph(pts, r).Connected() {
+			continue
+		}
+		done++
+		g, err := BuildLDTG(pts, r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Fatal("LDTG must stay connected when the UDG is connected")
+		}
+	}
+	if done < 10 {
+		t.Fatalf("only %d connected UDG trials generated", done)
+	}
+}
+
+func TestLDTGSparseDenseTriangle(t *testing.T) {
+	// Three mutually-in-range nodes: the full triangle survives (it is
+	// its own Delaunay triangulation everywhere).
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(5, 8)}
+	g, err := BuildLDTG(pts, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() != 3 {
+		t.Errorf("triangle LDTG has %d edges, want 3", g.EdgeCount())
+	}
+}
+
+func TestLDTGPrunesCrossingsOfDenseUDG(t *testing.T) {
+	// Dense UDGs have many crossing edges; the LDTG must be much sparser
+	// (≤ 3n−6 by planarity) while the UDG is quadratic-ish.
+	rng := rand.New(rand.NewSource(35))
+	pts := randomPoints(rng, 50, 500, 500)
+	const r = 400
+	udg := geom.UnitDiskGraph(pts, r)
+	g, err := BuildLDTG(pts, r, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EdgeCount() > 3*len(pts)-6 {
+		t.Errorf("LDTG edge count %d exceeds planar bound %d", g.EdgeCount(), 3*len(pts)-6)
+	}
+	if g.EdgeCount() >= udg.EdgeCount() {
+		t.Errorf("LDTG (%d edges) should be sparser than dense UDG (%d)", g.EdgeCount(), udg.EdgeCount())
+	}
+}
+
+func TestGabrielGraphBasic(t *testing.T) {
+	// Square: sides are Gabriel edges; diagonals are not (each diagonal's
+	// diametral circle contains the other two corners).
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10)}
+	g := GabrielGraph(pts, 100)
+	if g.EdgeCount() != 4 {
+		t.Fatalf("square Gabriel graph has %d edges, want 4", g.EdgeCount())
+	}
+	if g.HasEdge(0, 2) || g.HasEdge(1, 3) {
+		t.Error("diagonals must not be Gabriel edges")
+	}
+	// Radius restriction.
+	g2 := GabrielGraph(pts, 5)
+	if g2.EdgeCount() != 0 {
+		t.Error("radius below side length should yield no edges")
+	}
+}
+
+func TestNewLocalViewValidation(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(1, 0)}
+	if _, err := NewLocalView(5, []int{4, 6}, pts, 10); err == nil {
+		t.Error("self-not-first should be rejected")
+	}
+	if _, err := NewLocalView(4, []int{4}, pts, 10); err == nil {
+		t.Error("length mismatch should be rejected")
+	}
+	if _, err := NewLocalView(4, []int{4, 6}, pts, 0); err == nil {
+		t.Error("zero radius should be rejected")
+	}
+	if _, err := NewLocalView(4, []int{4, 6}, pts, 10); err != nil {
+		t.Errorf("valid view rejected: %v", err)
+	}
+}
+
+func TestLocalLDTGMatchesOracleInterior(t *testing.T) {
+	// For a node whose 2-hop horizon covers the whole network, the local
+	// computation must agree exactly with the oracle construction.
+	rng := rand.New(rand.NewSource(36))
+	for trial := 0; trial < 10; trial++ {
+		pts := randomPoints(rng, 15, 200, 200)
+		const r = 300 // everyone within one hop of everyone
+		oracle, err := BuildLDTG(pts, r, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := range pts {
+			ids := []int{u}
+			vpts := []geom.Point{pts[u]}
+			for v := range pts {
+				if v != u {
+					ids = append(ids, v)
+					vpts = append(vpts, pts[v])
+				}
+			}
+			view, err := NewLocalView(u, ids, vpts, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			local, err := view.LDTGNeighbors(2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[int]bool{}
+			for _, li := range local {
+				got[ids[li]] = true
+			}
+			want := map[int]bool{}
+			for _, v := range oracle.Neighbors(u) {
+				want[v] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("node %d: local %v vs oracle %v", u, got, want)
+			}
+			for v := range want {
+				if !got[v] {
+					t.Fatalf("node %d: oracle edge to %d missing locally", u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestLocalLDTGNeighborsAreUDGNeighbors(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	pts := randomPoints(rng, 30, 500, 500)
+	const r = 150
+	udg := geom.UnitDiskGraph(pts, r)
+	for u := 0; u < len(pts); u++ {
+		hood := udg.KHop(u, 2)
+		ids := []int{u}
+		vpts := []geom.Point{pts[u]}
+		for _, v := range hood {
+			if v != u {
+				ids = append(ids, v)
+				vpts = append(vpts, pts[v])
+			}
+		}
+		view, err := NewLocalView(u, ids, vpts, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		local, err := view.LDTGNeighbors(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, li := range local {
+			if pts[u].Dist(pts[ids[li]]) > r {
+				t.Fatalf("local LDTG proposed an out-of-range neighbor")
+			}
+		}
+	}
+}
+
+func TestLocalLDTGHandlesCoincidentPoints(t *testing.T) {
+	// Two nodes at identical coordinates must not break the construction.
+	ids := []int{0, 1, 2, 3}
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(5, 0), geom.Pt(5, 0), geom.Pt(2, 4)}
+	view, err := NewLocalView(0, ids, pts, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nbrs, err := view.LDTGNeighbors(2)
+	if err != nil {
+		t.Fatalf("coincident points broke LDTG: %v", err)
+	}
+	if len(nbrs) == 0 {
+		t.Error("expected at least one accepted neighbor")
+	}
+}
+
+func TestLocalLDTGRejectsBadK(t *testing.T) {
+	view, _ := NewLocalView(0, []int{0}, []geom.Point{geom.Pt(0, 0)}, 10)
+	if _, err := view.LDTGNeighbors(0); err == nil {
+		t.Error("k=0 should be rejected")
+	}
+}
+
+func BenchmarkLocalLDTG(b *testing.B) {
+	rng := rand.New(rand.NewSource(38))
+	pts := randomPoints(rng, 50, 1500, 300)
+	const r = 100
+	udg := geom.UnitDiskGraph(pts, r)
+	hood := udg.KHop(0, 2)
+	ids := []int{0}
+	vpts := []geom.Point{pts[0]}
+	for _, v := range hood {
+		if v != 0 {
+			ids = append(ids, v)
+			vpts = append(vpts, pts[v])
+		}
+	}
+	view, _ := NewLocalView(0, ids, vpts, r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := view.LDTGNeighbors(2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

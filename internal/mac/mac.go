@@ -1,0 +1,294 @@
+// Package mac simulates a CSMA/CA-flavoured wireless MAC over a shared
+// medium: carrier sensing, random backoff, finite-rate frame
+// serialization, receiver-side collision corruption, a bounded link-layer
+// queue (150 frames in the paper's Table 1), and bounded retransmission of
+// unicast frames.
+//
+// It deliberately simplifies IEEE 802.11 (no RTS/CTS, no NAV, no
+// bit-level capture) while preserving the mechanisms the paper's analysis
+// rests on: "the increased contention is the reason why epidemic routing
+// slows down when messages increase" and "it is faster because contentions
+// are avoided by allowing only reasonable number of identical message
+// copies in transit". More traffic here means longer queues, more
+// deferrals, and more collisions — exactly those dynamics.
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"glr/internal/des"
+	"glr/internal/geom"
+)
+
+// Broadcast is the destination id addressing every radio in range.
+const Broadcast = -1
+
+// Config holds medium-wide MAC/PHY parameters.
+type Config struct {
+	BitRate       float64 // link speed in bits/s (paper: 1 Mbps)
+	Range         float64 // reception range in metres
+	CSRangeFactor float64 // carrier-sense & interference range as a multiple of Range
+	QueueLen      int     // link-layer queue capacity in frames (paper: 150)
+	HeaderBits    int     // per-frame PHY+MAC overhead in bits
+	SlotTime      float64 // backoff slot, seconds
+	DIFS          float64 // idle time required before transmitting, seconds
+	SIFS          float64 // turnaround before the implicit ack, seconds
+	CWMin         int     // initial contention window, slots
+	CWMax         int     // maximum contention window, slots
+	MaxRetries    int     // unicast retransmission budget
+	// CaptureRatio models the 802.11 capture effect: a reception
+	// survives interference when the wanted signal is at least this
+	// factor stronger than each interferer at the receiver. Power falls
+	// as distance^-4 (two-ray ground), so with ratio 10 an interferer
+	// must be within ~1.78× the sender's distance to corrupt the frame.
+	// 0 disables capture (any overlap corrupts).
+	CaptureRatio float64
+	// VirtualCS models RTS/CTS virtual carrier sensing for unicast
+	// frames: the channel is also reserved around the receiver, so
+	// hidden terminals defer instead of colliding. NS-2's 802.11 used
+	// RTS/CTS for all unicast data (RTSThreshold 0), so this matches
+	// the paper's stack.
+	VirtualCS bool
+}
+
+// DefaultConfig mirrors the paper's Table 1 at a given transmission range.
+func DefaultConfig(rng float64) Config {
+	return Config{
+		BitRate:       1e6,
+		Range:         rng,
+		CSRangeFactor: 2.0,
+		QueueLen:      150,
+		HeaderBits:    58 * 8, // MAC+PHY header bytes, 802.11-ish
+		SlotTime:      20e-6,
+		DIFS:          50e-6,
+		SIFS:          10e-6,
+		CWMin:         32,
+		CWMax:         1024,
+		MaxRetries:    4,
+		CaptureRatio:  10,
+		VirtualCS:     true,
+	}
+}
+
+// Validate reports a descriptive error for nonsensical configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.BitRate <= 0:
+		return fmt.Errorf("mac: bit rate %v must be positive", c.BitRate)
+	case c.Range <= 0:
+		return fmt.Errorf("mac: range %v must be positive", c.Range)
+	case c.CSRangeFactor < 1:
+		return fmt.Errorf("mac: carrier-sense factor %v must be ≥ 1", c.CSRangeFactor)
+	case c.QueueLen <= 0:
+		return fmt.Errorf("mac: queue length %d must be positive", c.QueueLen)
+	case c.SlotTime <= 0 || c.DIFS < 0 || c.SIFS < 0:
+		return fmt.Errorf("mac: invalid timing parameters")
+	case c.CWMin <= 0 || c.CWMax < c.CWMin:
+		return fmt.Errorf("mac: invalid contention window [%d,%d]", c.CWMin, c.CWMax)
+	case c.MaxRetries < 0:
+		return fmt.Errorf("mac: negative retry budget")
+	case c.CaptureRatio < 0:
+		return fmt.Errorf("mac: negative capture ratio")
+	}
+	return nil
+}
+
+// Frame is one link-layer transmission unit. Payload is opaque to the MAC.
+type Frame struct {
+	Src     int
+	Dst     int // Broadcast or a radio id
+	Bits    int // payload size in bits (header added by the MAC)
+	Payload any
+}
+
+// ReceiveFunc is invoked on a radio when a frame is successfully received.
+type ReceiveFunc func(f *Frame)
+
+// SentFunc is invoked on the sender when the MAC has finished with a frame:
+// for unicast, ok reports whether the destination received it (after
+// retries); for broadcast, ok is always true once the frame has aired.
+type SentFunc func(f *Frame, ok bool)
+
+// Stats counts medium-wide MAC events.
+type Stats struct {
+	FramesQueued    uint64
+	QueueDrops      uint64
+	Transmissions   uint64 // individual airings, including retries
+	Collisions      uint64 // receiver-frame corruption events
+	UnicastFailures uint64 // frames abandoned after MaxRetries
+	Delivered       uint64 // successful frame receptions
+	BusyDeferrals   uint64
+}
+
+// Medium is the shared wireless channel. All radios attached to a medium
+// share one spatial channel; concurrency is event-driven via the scheduler.
+type Medium struct {
+	cfg    Config
+	sched  *des.Scheduler
+	rng    *rand.Rand
+	radios []*Radio
+	active []*transmission // recent & in-flight transmissions
+	stats  Stats
+}
+
+// NewMedium creates a medium. seed drives backoff jitter only.
+func NewMedium(sched *des.Scheduler, cfg Config, seed int64) (*Medium, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Medium{
+		cfg:   cfg,
+		sched: sched,
+		rng:   rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Config returns the medium configuration.
+func (m *Medium) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// AddRadio attaches a radio with the given id (must equal the insertion
+// index), position source, and callbacks. onSent may be nil.
+func (m *Medium) AddRadio(id int, pos func() geom.Point, onRecv ReceiveFunc, onSent SentFunc) (*Radio, error) {
+	if id != len(m.radios) {
+		return nil, fmt.Errorf("mac: radio id %d must be %d (insertion order)", id, len(m.radios))
+	}
+	r := &Radio{
+		id:     id,
+		medium: m,
+		pos:    pos,
+		onRecv: onRecv,
+		onSent: onSent,
+		cw:     m.cfg.CWMin,
+	}
+	m.radios = append(m.radios, r)
+	return r, nil
+}
+
+// transmission is one airing of a frame.
+type transmission struct {
+	from       *Radio
+	frame      *Frame
+	start, end des.Time
+	pos        geom.Point // sender position at start of airing
+	rxPos      geom.Point // unicast receiver position (virtual CS anchor)
+	hasRx      bool
+}
+
+func (t *transmission) overlaps(u *transmission) bool {
+	return t.start < u.end && u.start < t.end
+}
+
+// frameAirtime returns the seconds needed to serialize a frame.
+func (m *Medium) frameAirtime(f *Frame) float64 {
+	return float64(m.cfg.HeaderBits+f.Bits) / m.cfg.BitRate
+}
+
+// busyFor reports whether the channel is sensed busy at p now, and if so,
+// the latest end time among the occupying transmissions.
+func (m *Medium) busyFor(p geom.Point) (bool, des.Time) {
+	now := m.sched.Now()
+	cs := m.cfg.Range * m.cfg.CSRangeFactor
+	busy := false
+	var until des.Time
+	for _, t := range m.active {
+		if t.end <= now {
+			continue
+		}
+		// Physical carrier sense around the sender; virtual carrier
+		// sense (the RTS/CTS NAV) only reaches nodes that can decode
+		// the receiver's CTS, i.e. within reception range of it.
+		occupies := t.pos.Dist(p) <= cs ||
+			(m.cfg.VirtualCS && t.hasRx && t.rxPos.Dist(p) <= m.cfg.Range)
+		if occupies {
+			busy = true
+			if t.end > until {
+				until = t.end
+			}
+		}
+	}
+	return busy, until
+}
+
+// pruneActive drops transmissions old enough that they can no longer
+// overlap anything in flight.
+func (m *Medium) pruneActive() {
+	now := m.sched.Now()
+	const slack = 1.0 // seconds; far larger than any frame airtime
+	keep := m.active[:0]
+	for _, t := range m.active {
+		if t.end+slack > now {
+			keep = append(keep, t)
+		}
+	}
+	// Nil out the tail so dropped transmissions can be collected.
+	for i := len(keep); i < len(m.active); i++ {
+		m.active[i] = nil
+	}
+	m.active = keep
+}
+
+// corruptedAt reports whether reception of t at position p (receiver id
+// rid) is destroyed by an overlapping transmission from another sender
+// within interference range, or by the receiver transmitting itself
+// (half-duplex). The capture effect lets a much stronger wanted signal
+// survive: with two-ray path loss, power ratio ≈ (d_interferer/d_sender)⁴.
+func (m *Medium) corruptedAt(t *transmission, rid int, p geom.Point) bool {
+	ir := m.cfg.Range * m.cfg.CSRangeFactor
+	dWanted := t.pos.Dist(p)
+	for _, u := range m.active {
+		if u == t || !t.overlaps(u) {
+			continue
+		}
+		if u.from.id == rid {
+			return true // half-duplex: was transmitting during t
+		}
+		dInt := u.pos.Dist(p)
+		if dInt > ir {
+			continue // interferer too far to matter
+		}
+		if m.cfg.CaptureRatio > 0 && dWanted > 0 {
+			ratio := dInt / dWanted
+			if ratio*ratio*ratio*ratio >= m.cfg.CaptureRatio {
+				continue // captured: wanted signal dominates
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// finishTransmission resolves receptions at the end of an airing and
+// reports whether the unicast destination (if any) received the frame.
+func (m *Medium) finishTransmission(t *transmission) bool {
+	m.pruneActive()
+	dstOK := false
+	for _, r := range m.radios {
+		if r.id == t.from.id {
+			continue
+		}
+		if t.frame.Dst != Broadcast && r.id != t.frame.Dst {
+			continue
+		}
+		p := r.pos()
+		if t.pos.Dist(p) > m.cfg.Range {
+			continue
+		}
+		if m.corruptedAt(t, r.id, p) {
+			m.stats.Collisions++
+			continue
+		}
+		m.stats.Delivered++
+		r.recvCount++
+		if r.id == t.frame.Dst {
+			dstOK = true
+		}
+		if r.onRecv != nil {
+			r.onRecv(t.frame)
+		}
+	}
+	return dstOK
+}

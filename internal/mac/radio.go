@@ -1,0 +1,175 @@
+package mac
+
+import (
+	"glr/internal/des"
+	"glr/internal/geom"
+)
+
+// Radio is one station on the medium. All methods must be called from the
+// simulation goroutine (i.e. from within event handlers).
+type Radio struct {
+	id     int
+	medium *Medium
+	pos    func() geom.Point
+	onRecv ReceiveFunc
+	onSent SentFunc
+
+	queue        []*Frame // FIFO, bounded by Config.QueueLen
+	transmitting bool
+	attemptArmed bool // a backoff/deferral attempt event is pending
+	cw           int  // current contention window in slots
+	retries      int  // retries consumed by the head-of-line frame
+
+	// Per-radio counters.
+	sentOK     uint64
+	sentFail   uint64
+	queueDrops uint64
+	recvCount  uint64
+}
+
+// ID returns the radio identifier.
+func (r *Radio) ID() int { return r.id }
+
+// QueueLen returns the number of frames waiting (excluding any frame
+// currently on the air).
+func (r *Radio) QueueLen() int { return len(r.queue) }
+
+// Counters returns (delivered-unicast, failed-unicast, queue-drops,
+// frames-received).
+func (r *Radio) Counters() (sentOK, sentFail, queueDrops, recv uint64) {
+	return r.sentOK, r.sentFail, r.queueDrops, r.recvCount
+}
+
+// Send enqueues a frame for transmission. It reports false when the
+// link-layer queue is full and the frame was dropped (the paper's queue
+// length is 150 frames).
+func (r *Radio) Send(f *Frame) bool {
+	m := r.medium
+	if len(r.queue) >= m.cfg.QueueLen {
+		m.stats.QueueDrops++
+		r.queueDrops++
+		if r.onSent != nil {
+			r.onSent(f, false)
+		}
+		return false
+	}
+	f.Src = r.id
+	r.queue = append(r.queue, f)
+	m.stats.FramesQueued++
+	r.tryTransmit()
+	return true
+}
+
+// tryTransmit attempts to put the head-of-line frame on the air, deferring
+// with backoff when the channel is sensed busy.
+func (r *Radio) tryTransmit() {
+	m := r.medium
+	if r.transmitting || r.attemptArmed || len(r.queue) == 0 {
+		return
+	}
+	if busy, until := m.busyFor(r.pos()); busy {
+		m.stats.BusyDeferrals++
+		r.deferUntil(until)
+		return
+	}
+	r.startTransmission()
+}
+
+// deferUntil schedules a fresh channel sense shortly after the sensed
+// occupancy clears, plus DIFS and a random backoff.
+func (r *Radio) deferUntil(until des.Time) {
+	m := r.medium
+	wait := (until - m.sched.Now()) + m.cfg.DIFS + float64(m.rng.Intn(r.cw))*m.cfg.SlotTime
+	r.attemptArmed = true
+	m.sched.After(wait, func() {
+		r.attemptArmed = false
+		r.tryTransmit()
+	})
+}
+
+// backoffRetry schedules a retransmission attempt after a collision, with
+// an exponentially grown contention window.
+func (r *Radio) backoffRetry() {
+	m := r.medium
+	r.cw = min(r.cw*2, m.cfg.CWMax)
+	wait := m.cfg.DIFS + float64(1+m.rng.Intn(r.cw))*m.cfg.SlotTime
+	r.attemptArmed = true
+	m.sched.After(wait, func() {
+		r.attemptArmed = false
+		r.tryTransmit()
+	})
+}
+
+// startTransmission puts the head-of-line frame on the air.
+func (r *Radio) startTransmission() {
+	m := r.medium
+	f := r.queue[0]
+	r.transmitting = true
+	now := m.sched.Now()
+	t := &transmission{
+		from:  r,
+		frame: f,
+		start: now,
+		end:   now + m.frameAirtime(f),
+		pos:   r.pos(),
+	}
+	if f.Dst != Broadcast && f.Dst >= 0 && f.Dst < len(m.radios) {
+		// Virtual carrier sense (RTS/CTS): the receiver's surroundings
+		// also treat the channel as busy for this airing.
+		t.rxPos = m.radios[f.Dst].pos()
+		t.hasRx = true
+	}
+	m.active = append(m.active, t)
+	m.stats.Transmissions++
+	m.sched.At(t.end, func() { r.endTransmission(t) })
+}
+
+// endTransmission resolves the airing outcome and advances the queue.
+func (r *Radio) endTransmission(t *transmission) {
+	m := r.medium
+	r.transmitting = false
+	dstOK := m.finishTransmission(t)
+	f := t.frame
+
+	if f.Dst == Broadcast {
+		// Broadcast frames are fire-and-forget.
+		r.completeHead(f, true)
+		return
+	}
+	if dstOK {
+		r.completeHead(f, true)
+		return
+	}
+	// Unicast failure: retry within budget.
+	if r.retries < m.cfg.MaxRetries {
+		r.retries++
+		r.backoffRetry()
+		return
+	}
+	m.stats.UnicastFailures++
+	r.completeHead(f, false)
+}
+
+// completeHead pops the head-of-line frame, reports its outcome, resets
+// contention state, and moves on — after SIFS, modelling ack turnaround.
+func (r *Radio) completeHead(f *Frame, ok bool) {
+	m := r.medium
+	r.queue = r.queue[1:]
+	r.retries = 0
+	r.cw = m.cfg.CWMin
+	if ok {
+		r.sentOK++
+	} else {
+		r.sentFail++
+	}
+	if r.onSent != nil {
+		r.onSent(f, ok)
+	}
+	if len(r.queue) > 0 {
+		r.attemptArmed = true
+		m.sched.After(m.cfg.SIFS, func() {
+			r.attemptArmed = false
+			r.tryTransmit()
+		})
+	}
+}

@@ -1,0 +1,133 @@
+package phy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFreeSpaceInverseSquare(t *testing.T) {
+	m := DefaultFreeSpace()
+	p100 := m.RxPower(1, 100)
+	p200 := m.RxPower(1, 200)
+	if ratio := p100 / p200; math.Abs(ratio-4) > 1e-9 {
+		t.Errorf("doubling distance should quarter power, ratio = %v", ratio)
+	}
+}
+
+func TestTwoRayFourthPowerBeyondCrossover(t *testing.T) {
+	m := DefaultTwoRayGround()
+	dc := m.Crossover()
+	if dc < 50 || dc > 120 {
+		t.Fatalf("crossover = %v m, expected ≈86 m for 914 MHz / 1.5 m antennas", dc)
+	}
+	d := dc * 2
+	p1 := m.RxPower(1, d)
+	p2 := m.RxPower(1, 2*d)
+	if ratio := p1 / p2; math.Abs(ratio-16) > 1e-9 {
+		t.Errorf("doubling distance beyond crossover should cut power 16x, ratio = %v", ratio)
+	}
+}
+
+func TestTwoRayMatchesFreeSpaceNearField(t *testing.T) {
+	tr := DefaultTwoRayGround()
+	fs := DefaultFreeSpace()
+	d := tr.Crossover() / 2
+	if got, want := tr.RxPower(1, d), fs.RxPower(1, d); math.Abs(got-want) > 1e-15 {
+		t.Errorf("near-field TwoRay %v != FreeSpace %v", got, want)
+	}
+}
+
+func TestTwoRayContinuousAtCrossover(t *testing.T) {
+	m := DefaultTwoRayGround()
+	dc := m.Crossover()
+	below := m.RxPower(1, dc*(1-1e-9))
+	above := m.RxPower(1, dc*(1+1e-9))
+	if math.Abs(below-above)/below > 1e-6 {
+		t.Errorf("discontinuity at crossover: %v vs %v", below, above)
+	}
+}
+
+func TestMonotoneDecay(t *testing.T) {
+	models := []Propagation{DefaultFreeSpace(), DefaultTwoRayGround()}
+	for _, m := range models {
+		prev := math.Inf(1)
+		for d := 1.0; d <= 1000; d += 7 {
+			p := m.RxPower(1, d)
+			if p >= prev {
+				t.Fatalf("%T: power not strictly decreasing at d=%v", m, d)
+			}
+			prev = p
+		}
+	}
+}
+
+func TestRxPowerAtZeroDistance(t *testing.T) {
+	for _, m := range []Propagation{DefaultFreeSpace(), DefaultTwoRayGround()} {
+		if !math.IsInf(m.RxPower(1, 0), 1) {
+			t.Errorf("%T: zero distance should give +Inf", m)
+		}
+	}
+}
+
+func TestThresholdForRangeRoundTrip(t *testing.T) {
+	for _, m := range []Propagation{DefaultFreeSpace(), DefaultTwoRayGround()} {
+		for _, r := range []float64{50, 100, 150, 200, 250} {
+			thresh, err := ThresholdForRange(m, NS2DefaultTxPower, r)
+			if err != nil {
+				t.Fatalf("%T range %v: %v", m, r, err)
+			}
+			got := m.MaxRange(NS2DefaultTxPower, thresh)
+			if math.Abs(got-r)/r > 1e-9 {
+				t.Errorf("%T: round trip range %v -> %v", m, r, got)
+			}
+		}
+	}
+}
+
+func TestThresholdForRangeErrors(t *testing.T) {
+	m := DefaultTwoRayGround()
+	if _, err := ThresholdForRange(m, 1, 0); err == nil {
+		t.Error("zero range should error")
+	}
+	if _, err := ThresholdForRange(m, 1, -5); err == nil {
+		t.Error("negative range should error")
+	}
+}
+
+func TestMaxRangeInfiniteForZeroThreshold(t *testing.T) {
+	for _, m := range []Propagation{DefaultFreeSpace(), DefaultTwoRayGround()} {
+		if !math.IsInf(m.MaxRange(1, 0), 1) {
+			t.Errorf("%T: zero threshold should give infinite range", m)
+		}
+	}
+}
+
+func TestReceptionInsideRangeOnly(t *testing.T) {
+	m := DefaultTwoRayGround()
+	const want = 250.0
+	thresh, err := ThresholdForRange(m, NS2DefaultTxPower, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := m.RxPower(NS2DefaultTxPower, want*0.99); p < thresh {
+		t.Error("reception should succeed just inside range")
+	}
+	if p := m.RxPower(NS2DefaultTxPower, want*1.01); p >= thresh {
+		t.Error("reception should fail just outside range")
+	}
+}
+
+func TestMaxRangeNearFieldRegime(t *testing.T) {
+	// A threshold so high that the range lands below the crossover must be
+	// solved with the free-space formula, not the fourth-power one.
+	m := DefaultTwoRayGround()
+	want := m.Crossover() / 3
+	thresh, err := ThresholdForRange(m, NS2DefaultTxPower, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.MaxRange(NS2DefaultTxPower, thresh)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("near-field MaxRange = %v, want %v", got, want)
+	}
+}

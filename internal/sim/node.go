@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"math/rand"
+
+	"glr/internal/des"
+	"glr/internal/dtn"
+	"glr/internal/geom"
+	"glr/internal/mac"
+	"glr/internal/metrics"
+	"glr/internal/mobility"
+)
+
+// Protocol is the routing-protocol hook set. The GLR implementation lives
+// in internal/core; the epidemic baseline in internal/epidemic. All
+// callbacks run on the simulation goroutine.
+type Protocol interface {
+	// Init is called once after the node is fully wired, before any
+	// event fires.
+	Init(n *Node)
+	// OnMessageGenerated hands the protocol a freshly created message for
+	// which this node is the source.
+	OnMessageGenerated(m *dtn.Message)
+	// OnFrame delivers a received protocol frame payload.
+	OnFrame(payload any, from int)
+	// OnBeacon notifies the protocol that a beacon was heard (node-level
+	// neighbor/location bookkeeping has already run).
+	OnBeacon(b Beacon)
+	// StorageUsed returns the number of messages currently held, the
+	// paper's storage metric.
+	StorageUsed() int
+}
+
+// Beacon is the periodic IMEP-style hello: the sender's position and its
+// current 1-hop neighbor list (which gives listeners 2-hop knowledge).
+type Beacon struct {
+	From      int
+	Pos       geom.Point
+	Time      float64
+	Neighbors []dtn.NeighborNeighbor
+}
+
+// beaconBits returns the airtime size of a beacon: 24 bytes of fixed
+// fields plus 20 per advertised neighbor.
+func beaconBits(neighborCount int) int {
+	return (24 + 20*neighborCount) * 8
+}
+
+// FrameKind classifies transmissions for the overhead counters.
+type FrameKind int
+
+// Frame classes.
+const (
+	KindControl FrameKind = iota
+	KindData
+	KindAck
+)
+
+// Node is one mobile station: radio + mobility + protocol + the
+// node-level tables every DTN node keeps.
+type Node struct {
+	id    int
+	world *World
+	radio *mac.Radio
+	mob   mobility.Model
+	proto Protocol
+	rng   *rand.Rand
+
+	neighbors *dtn.NeighborTable
+	locations *dtn.LocationTable
+
+	sentCB map[*mac.Frame]func(ok bool)
+}
+
+// ID returns the node id (0-based, dense).
+func (n *Node) ID() int { return n.id }
+
+// Now returns the current simulated time.
+func (n *Node) Now() float64 { return n.world.sched.Now() }
+
+// Pos returns the node's current true position.
+func (n *Node) Pos() geom.Point { return n.mob.Position(n.Now()) }
+
+// Range returns the transmission range.
+func (n *Node) Range() float64 { return n.world.cfg.Range }
+
+// Region returns the deployment region.
+func (n *Node) Region() mobility.Region { return n.world.cfg.Region }
+
+// NodeCount returns the number of nodes in the network.
+func (n *Node) NodeCount() int { return n.world.cfg.N }
+
+// StorageLimit returns the per-node storage bound (0 = unlimited).
+func (n *Node) StorageLimit() int { return n.world.cfg.StorageLimit }
+
+// Rand returns the node's private RNG stream.
+func (n *Node) Rand() *rand.Rand { return n.rng }
+
+// Sched exposes the scheduler for protocol timers.
+func (n *Node) Sched() *des.Scheduler { return n.world.sched }
+
+// After schedules fn after d seconds.
+func (n *Node) After(d float64, fn func()) des.EventID {
+	return n.world.sched.After(d, fn)
+}
+
+// Metrics returns the run's collector.
+func (n *Node) Metrics() *metrics.Collector { return n.world.collector }
+
+// Neighbors returns the node's neighbor table with stale rows (older than
+// the scenario's expiry) already dropped.
+func (n *Node) Neighbors() *dtn.NeighborTable {
+	n.neighbors.Expire(n.Now() - n.world.cfg.NeighborExpiry)
+	return n.neighbors
+}
+
+// Locations returns the node's location table (§2.3.1 diffusion state).
+func (n *Node) Locations() *dtn.LocationTable { return n.locations }
+
+// OraclePosition returns the true current position of any node. It backs
+// the paper's evaluation assumptions ("source knows the true destination
+// location" and the all-nodes-know regime of Table 2); protocols must not
+// use it outside those configured regimes.
+func (n *Node) OraclePosition(id int) geom.Point {
+	return n.world.nodes[id].Pos()
+}
+
+// Broadcast queues a broadcast frame. It reports whether the frame was
+// accepted by the link-layer queue.
+func (n *Node) Broadcast(kind FrameKind, payload any, bits int) bool {
+	n.countFrame(kind)
+	return n.radio.Send(&mac.Frame{Dst: mac.Broadcast, Bits: bits, Payload: payload})
+}
+
+// Unicast queues a unicast frame; cb (may be nil) fires when the MAC
+// resolves the frame (delivered or abandoned). It reports whether the
+// frame was accepted by the link-layer queue; when it returns false, cb
+// has already been invoked with ok=false.
+func (n *Node) Unicast(dst int, kind FrameKind, payload any, bits int, cb func(ok bool)) bool {
+	f := &mac.Frame{Dst: dst, Bits: bits, Payload: payload}
+	if cb != nil {
+		n.sentCB[f] = cb
+	}
+	n.countFrame(kind)
+	return n.radio.Send(f)
+}
+
+func (n *Node) countFrame(kind FrameKind) {
+	switch kind {
+	case KindControl:
+		n.world.collector.CountControlFrame()
+	case KindData:
+		n.world.collector.CountDataFrame()
+	case KindAck:
+		n.world.collector.CountAck()
+	}
+}
+
+// ReportDelivered records a message arrival at this node (the
+// destination). It reports whether this was the first copy to arrive.
+func (n *Node) ReportDelivered(m *dtn.Message) bool {
+	return n.world.collector.Delivered(m.ID, n.Now(), m.Hops)
+}
+
+// onReceive is the radio delivery callback.
+func (n *Node) onReceive(f *mac.Frame) {
+	if b, ok := f.Payload.(Beacon); ok {
+		n.handleBeacon(b)
+		return
+	}
+	n.proto.OnFrame(f.Payload, f.Src)
+}
+
+// onSent is the radio completion callback.
+func (n *Node) onSent(f *mac.Frame, ok bool) {
+	if cb, exists := n.sentCB[f]; exists {
+		delete(n.sentCB, f)
+		cb(ok)
+	}
+}
+
+// handleBeacon performs the node-level bookkeeping every DTN node does on
+// a hello: refresh the neighbor table and the location table ("two nodes
+// exchange their location information whenever they come within
+// communication range of each other"), then inform the protocol.
+func (n *Node) handleBeacon(b Beacon) {
+	n.neighbors.Observe(dtn.NeighborInfo{
+		ID:        b.From,
+		Pos:       b.Pos,
+		LastSeen:  b.Time,
+		Neighbors: b.Neighbors,
+	})
+	n.locations.Update(b.From, b.Pos, b.Time)
+	n.proto.OnBeacon(b)
+}
+
+// sendBeacon broadcasts this node's current hello.
+func (n *Node) sendBeacon() {
+	nbrs := n.Neighbors().Snapshot()
+	adv := make([]dtn.NeighborNeighbor, len(nbrs))
+	for i, r := range nbrs {
+		adv[i] = dtn.NeighborNeighbor{ID: r.ID, Pos: r.Pos}
+	}
+	b := Beacon{From: n.id, Pos: n.Pos(), Time: n.Now(), Neighbors: adv}
+	n.Broadcast(KindControl, b, beaconBits(len(adv)))
+}
