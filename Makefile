@@ -1,0 +1,37 @@
+# Targets mirror .github/workflows/ci.yml so contributors run exactly
+# what CI runs.
+
+GO ?= go
+
+.PHONY: build test test-short bench fmt vet ci
+
+build:
+	$(GO) build ./...
+
+## test runs the full suite, including the slow paper-artifact
+## simulations (~30 s).
+test:
+	$(GO) test ./...
+
+## test-short is the CI test job: race detector on, slow suites skipped.
+test-short:
+	$(GO) test -race -short ./...
+
+## bench runs the medium micro-benchmarks (naive vs spatial grid).
+bench:
+	$(GO) test -bench=BenchmarkMedium -benchmem -run='^$$' ./internal/mac
+
+fmt:
+	$(GO) fmt ./...
+
+vet:
+	$(GO) vet ./...
+
+## ci is the whole pipeline: build, formatting gate, vet, short tests,
+## and a single-iteration benchmark smoke run.
+ci: build
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+	$(GO) test -bench=BenchmarkMedium -benchtime=1x -run='^$$' ./internal/mac

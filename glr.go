@@ -24,6 +24,25 @@
 //
 //	out, err := glr.RunExperiment("fig7", glr.Quick)
 //	fmt.Println(out)
+//
+// # Performance & scaling
+//
+// The wireless medium resolves receptions, carrier sensing, and
+// interference through a uniform-grid spatial index (internal/spatial)
+// whose cells match the relevant query radii, so the per-airing cost
+// depends on the sender's neighborhood, not on the network size; unicast
+// frames resolve against their destination in O(1). Radio cells are
+// refreshed lazily as positions are observed and in bulk once per beacon
+// interval, with index queries widened by a slack covering the possible
+// drift in between, which keeps grid resolution exactly equivalent to a
+// full scan (a property test in internal/mac asserts identical delivered
+// frame sets and MAC statistics across randomized static and mobile
+// topologies). The naive O(n²) path remains available behind
+// mac.Config.DisableSpatialIndex as an escape hatch and benchmark
+// baseline: BenchmarkMediumBroadcast{Naive,Grid} in internal/mac compare
+// the two on a 1000-radio medium, and the node-count scaling sweep
+// (`glrexp -exp scale`) reports delivery ratio and wall-clock for
+// 100..1000-node scenarios at the paper's density in both modes.
 package glr
 
 import (

@@ -1,0 +1,3 @@
+module glr
+
+go 1.24

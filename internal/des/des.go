@@ -45,6 +45,7 @@ type Scheduler struct {
 	nextID  EventID
 	pq      eventHeap
 	byID    map[EventID]*event
+	free    []*event // recycled event objects
 	stopped bool
 	// processed counts events actually dispatched (excluding canceled).
 	processed uint64
@@ -85,12 +86,28 @@ func (s *Scheduler) At(t Time, fn Handler) EventID {
 	if math.IsNaN(t) {
 		panic("des: scheduling event at NaN time")
 	}
-	ev := &event{at: t, seq: s.seq, id: s.nextID, fn: fn}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	*ev = event{at: t, seq: s.seq, id: s.nextID, fn: fn}
 	s.seq++
 	s.nextID++
 	s.byID[ev.id] = ev
 	heap.Push(&s.pq, ev)
 	return ev.id
+}
+
+// release returns a popped event to the free list. Events are
+// single-use: once popped (dispatched or canceled) nothing else holds a
+// reference, so recycling them removes the dominant per-event
+// allocation from simulation hot loops.
+func (s *Scheduler) release(ev *event) {
+	ev.fn = nil // drop the closure reference while pooled
+	s.free = append(s.free, ev)
 }
 
 // After schedules fn to run d seconds from now. Negative d panics.
@@ -123,6 +140,7 @@ func (s *Scheduler) Run(until Time) {
 		ev := s.pq[0]
 		if ev.canceled {
 			heap.Pop(&s.pq)
+			s.release(ev)
 			continue
 		}
 		if ev.at > until {
@@ -132,7 +150,9 @@ func (s *Scheduler) Run(until Time) {
 		delete(s.byID, ev.id)
 		s.now = ev.at
 		s.processed++
-		ev.fn()
+		fn := ev.fn
+		s.release(ev)
+		fn()
 	}
 	// Advance the clock to the horizon only on a natural finish; after
 	// Stop (or an unbounded RunAll) the clock stays at the last

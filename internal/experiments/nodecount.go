@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"glr/internal/asciiplot"
+	"glr/internal/mobility"
+	"glr/internal/sim"
+	"glr/internal/stats"
+)
+
+// NodeCountSizes is the default sweep: the paper's evaluation runs at
+// tens of nodes; the sweep scales an order of magnitude beyond it.
+var NodeCountSizes = []int{100, 250, 500, 1000}
+
+// paperDensity is the paper's node density: 50 nodes in 1500 × 300 m.
+const paperDensity = 50.0 / (1500 * 300)
+
+// NodeCountPoint is one sweep point: the same scenario run with the
+// spatial index (the default) and with the naive full-scan medium, with
+// wall-clock time measured for each.
+type NodeCountPoint struct {
+	N             int
+	Region        mobility.Region
+	Delivery      stats.MeanCI // grid runs
+	DeliveryNaive stats.MeanCI
+	WallGrid      time.Duration // mean per run
+	WallNaive     time.Duration
+}
+
+// Speedup returns naive wall-clock over grid wall-clock.
+func (p NodeCountPoint) Speedup() float64 {
+	if p.WallGrid <= 0 {
+		return 0
+	}
+	return float64(p.WallNaive) / float64(p.WallGrid)
+}
+
+// NodeCountResult is the node-count scaling sweep artifact.
+type NodeCountResult struct {
+	Points []NodeCountPoint
+	Runs   int
+	msgs   []int // messages per point, aligned with Points
+}
+
+// nodeCountScenario builds the sweep scenario for n nodes: the paper's
+// density and mobility at 100 m range, region grown with n (5:1 aspect
+// like the paper's 1500 × 300), uniform random traffic proportional to
+// n, and a horizon long enough for delivery.
+func nodeCountScenario(n, msgs int, seed int64) sim.Scenario {
+	h := math.Sqrt(float64(n) / paperDensity / 5)
+	s := sim.DefaultScenario(100)
+	s.Name = fmt.Sprintf("scale-%d", n)
+	s.N = n
+	s.Seed = seed
+	s.Region = mobility.Region{W: 5 * h, H: h}
+	s.Traffic = sim.UniformTraffic(n, msgs, 2.0, seed*977+5)
+	s.SimTime = float64(msgs)/2.0 + 240
+	return s
+}
+
+// NodeCountSweep measures how the simulator scales with node count at
+// fixed density: delivery ratio plus wall-clock per run for the
+// grid-indexed medium vs the naive O(n²) resolution. sizes nil means
+// NodeCountSizes. Replications are run sequentially (never in parallel)
+// so the wall-clock comparison is not distorted by CPU contention; runs
+// are capped at 3 because the point is the timing trend, not tight
+// confidence intervals.
+func NodeCountSweep(o Options, sizes []int) (*NodeCountResult, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if sizes == nil {
+		sizes = NodeCountSizes
+	}
+	runs := min(o.Runs, 3)
+	res := &NodeCountResult{Runs: runs}
+
+	for _, n := range sizes {
+		if n < 2 {
+			return nil, fmt.Errorf("experiments: node count %d must be ≥ 2", n)
+		}
+		msgs := o.messages(n)
+		point := NodeCountPoint{N: n}
+		grid := make([]float64, runs)
+		naive := make([]float64, runs)
+		var wallGrid, wallNaive time.Duration
+		for r := 0; r < runs; r++ {
+			seed := o.BaseSeed + int64(r)
+			for _, disable := range []bool{false, true} {
+				s := nodeCountScenario(n, msgs, seed)
+				s.DisableSpatialIndex = disable
+				point.Region = s.Region
+				start := time.Now()
+				rep, err := (runSpec{scenario: s, proto: ProtoGLR}).execute()
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, err
+				}
+				if disable {
+					naive[r] = rep.DeliveryRatio
+					wallNaive += elapsed
+				} else {
+					grid[r] = rep.DeliveryRatio
+					wallGrid += elapsed
+				}
+			}
+		}
+		point.Delivery = stats.ConfidenceInterval(grid, o.Confidence)
+		point.DeliveryNaive = stats.ConfidenceInterval(naive, o.Confidence)
+		point.WallGrid = wallGrid / time.Duration(runs)
+		point.WallNaive = wallNaive / time.Duration(runs)
+		res.Points = append(res.Points, point)
+		res.msgs = append(res.msgs, msgs)
+		o.progress("scale: n=%d -> delivery %.2f, wall grid %v vs naive %v (%.1fx)",
+			n, point.Delivery.Mean, point.WallGrid.Round(time.Millisecond),
+			point.WallNaive.Round(time.Millisecond), point.Speedup())
+	}
+	return res, nil
+}
+
+// Render prints the sweep table.
+func (r *NodeCountResult) Render() string {
+	rows := make([][]string, len(r.Points))
+	for i, p := range r.Points {
+		rows[i] = []string{
+			fmt.Sprintf("%d", p.N),
+			fmt.Sprintf("%.0fx%.0f m", p.Region.W, p.Region.H),
+			fmt.Sprintf("%d", r.msgs[i]),
+			fmt.Sprintf("%.2f±%.2f", p.Delivery.Mean, p.Delivery.HalfWidth),
+			fmt.Sprintf("%.2f±%.2f", p.DeliveryNaive.Mean, p.DeliveryNaive.HalfWidth),
+			p.WallGrid.Round(time.Millisecond).String(),
+			p.WallNaive.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", p.Speedup()),
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(asciiplot.Table{
+		Title:   fmt.Sprintf("Node-count scaling sweep (fixed density, GLR, %d run(s)/point)", r.Runs),
+		Headers: []string{"Nodes", "Region", "Msgs", "Delivery", "Delivery naive", "Wall grid", "Wall naive", "Speedup"},
+		Rows:    rows,
+	}.Render())
+	sb.WriteString("The spatial-grid medium resolves receptions over the sender's\n" +
+		"neighborhood only, so per-beacon cost stays flat as the network grows;\n" +
+		"the naive medium scans every radio per airing and falls behind\n" +
+		"quadratically. Delivery ratios agree up to MAC-level tie-breaking.\n")
+	return sb.String()
+}
+
+// SpeedupGrowsWithN reports whether the grid's wall-clock advantage
+// increases from the smallest to the largest sweep point.
+func (r *NodeCountResult) SpeedupGrowsWithN() bool {
+	n := len(r.Points)
+	if n < 2 {
+		return false
+	}
+	return r.Points[n-1].Speedup() > r.Points[0].Speedup()
+}

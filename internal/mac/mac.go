@@ -15,10 +15,12 @@ package mac
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"glr/internal/des"
 	"glr/internal/geom"
+	"glr/internal/spatial"
 )
 
 // Broadcast is the destination id addressing every radio in range.
@@ -50,6 +52,17 @@ type Config struct {
 	// RTS/CTS for all unicast data (RTSThreshold 0), so this matches
 	// the paper's stack.
 	VirtualCS bool
+	// DisableSpatialIndex falls back to the O(n) full scans over radios
+	// and active transmissions instead of the uniform-grid spatial
+	// index. The two paths resolve identical frame sets; the flag
+	// exists as an escape hatch and for benchmarking the index.
+	DisableSpatialIndex bool
+	// IndexSlack widens spatial-index queries over radios by this many
+	// metres to tolerate movement between index refreshes. It must be
+	// at least the farthest any radio can drift between Reindex calls
+	// (the simulator sets MaxSpeed × reindex interval); zero is correct
+	// for static radios.
+	IndexSlack float64
 }
 
 // DefaultConfig mirrors the paper's Table 1 at a given transmission range.
@@ -90,6 +103,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("mac: negative retry budget")
 	case c.CaptureRatio < 0:
 		return fmt.Errorf("mac: negative capture ratio")
+	case c.IndexSlack < 0 || math.IsNaN(c.IndexSlack):
+		return fmt.Errorf("mac: index slack %v must be nonnegative", c.IndexSlack)
 	}
 	return nil
 }
@@ -123,13 +138,50 @@ type Stats struct {
 
 // Medium is the shared wireless channel. All radios attached to a medium
 // share one spatial channel; concurrency is event-driven via the scheduler.
+//
+// Unless Config.DisableSpatialIndex is set, the medium keeps two
+// uniform-grid indexes with cell size equal to the carrier-sense range:
+// one over radios (cells refreshed lazily whenever a radio's position is
+// observed, and in bulk by Reindex) and one over the anchor points of
+// active transmissions (sender position, plus the receiver position for
+// unicast virtual carrier sensing). Reception resolution, carrier
+// sensing, and interference checks then touch only the 3×3 cell block
+// around a point instead of every radio and airing in the simulation.
 type Medium struct {
-	cfg    Config
-	sched  *des.Scheduler
-	rng    *rand.Rand
-	radios []*Radio
-	active []*transmission // recent & in-flight transmissions
-	stats  Stats
+	cfg      Config
+	sched    *des.Scheduler
+	rng      *rand.Rand
+	radios   []*Radio
+	active   []*transmission // FIFO of recent & in-flight transmissions
+	head     int             // index of the oldest retained entry in active
+	inflight int             // airings not yet ended (end > now)
+	stats    Stats
+
+	// Spatial index state (nil / unused when DisableSpatialIndex).
+	// Transmission anchors are registered under small recycled handles
+	// so the handle table stays a dense slice.
+	radioIdx    *spatial.Grid
+	txIdx       *spatial.Grid
+	txByHandle  []*transmission
+	freeHandles []int
+	scratch     []int           // reusable candidate-id buffer
+	txCand      []*transmission // interferer candidates for the airing being resolved
+	txFree      []*transmission // recycled transmission objects
+}
+
+// takeTx returns a recycled (or fresh) transmission object. Recycling is
+// safe because every reference to a transmission — the active FIFO, the
+// spatial handles, and txCand — is dropped by the time pruneActive
+// releases it; radios keep only value copies of their own airings.
+func (m *Medium) takeTx() *transmission {
+	if n := len(m.txFree); n > 0 {
+		t := m.txFree[n-1]
+		m.txFree = m.txFree[:n-1]
+		return t
+	}
+	t := &transmission{}
+	t.onEnd = func() { t.from.endTransmission(t) }
+	return t
 }
 
 // NewMedium creates a medium. seed drives backoff jitter only.
@@ -137,11 +189,24 @@ func NewMedium(sched *des.Scheduler, cfg Config, seed int64) (*Medium, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Medium{
+	m := &Medium{
 		cfg:   cfg,
 		sched: sched,
 		rng:   rand.New(rand.NewSource(seed)),
-	}, nil
+	}
+	if !cfg.DisableSpatialIndex {
+		// Cell sizes match each index's query radius so any disk query
+		// touches at most a 3×3 cell block: reception range for the
+		// radio index, carrier-sense range for transmission anchors.
+		var err error
+		if m.radioIdx, err = spatial.NewGrid(cfg.Range); err != nil {
+			return nil, err
+		}
+		if m.txIdx, err = spatial.NewGrid(cfg.Range * cfg.CSRangeFactor); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
 
 // Config returns the medium configuration.
@@ -165,10 +230,32 @@ func (m *Medium) AddRadio(id int, pos func() geom.Point, onRecv ReceiveFunc, onS
 		cw:     m.cfg.CWMin,
 	}
 	m.radios = append(m.radios, r)
+	if m.radioIdx != nil {
+		if err := m.radioIdx.Insert(id, pos()); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
 }
 
-// transmission is one airing of a frame.
+// Reindex refreshes every radio's cached grid cell from its position
+// callback. The simulator calls it periodically (once per beacon
+// interval) so that, together with the lazy per-observation refreshes,
+// no cached cell is ever staler than one reindex period — the drift
+// bound Config.IndexSlack must cover. It is a no-op when the spatial
+// index is disabled.
+func (m *Medium) Reindex() {
+	if m.radioIdx == nil {
+		return
+	}
+	for _, r := range m.radios {
+		m.radioIdx.Update(r.id, r.pos())
+	}
+}
+
+// transmission is one airing of a frame. Objects are pooled by the
+// medium (see takeTx/pruneActive); onEnd is the reusable end-of-airing
+// event handler, allocated once per pooled object.
 type transmission struct {
 	from       *Radio
 	frame      *Frame
@@ -176,6 +263,15 @@ type transmission struct {
 	pos        geom.Point // sender position at start of airing
 	rxPos      geom.Point // unicast receiver position (virtual CS anchor)
 	hasRx      bool
+	h0, h1     int // spatial-index handles for pos / rxPos (h1 = -1 if none)
+	onEnd      des.Handler
+}
+
+// airing is a value copy of a transmission's interval, retained on the
+// sending radio for half-duplex checks after the transmission object
+// may have been recycled.
+type airing struct {
+	start, end des.Time
 }
 
 func (t *transmission) overlaps(u *transmission) bool {
@@ -190,19 +286,24 @@ func (m *Medium) frameAirtime(f *Frame) float64 {
 // busyFor reports whether the channel is sensed busy at p now, and if so,
 // the latest end time among the occupying transmissions.
 func (m *Medium) busyFor(p geom.Point) (bool, des.Time) {
+	if m.inflight == 0 {
+		return false, 0 // silent channel: nothing with end > now exists
+	}
 	now := m.sched.Now()
 	cs := m.cfg.Range * m.cfg.CSRangeFactor
+	cs2 := cs * cs
+	range2 := m.cfg.Range * m.cfg.Range
 	busy := false
 	var until des.Time
-	for _, t := range m.active {
+	// Physical carrier sense around the sender; virtual carrier sense
+	// (the RTS/CTS NAV) only reaches nodes that can decode the
+	// receiver's CTS, i.e. within reception range of it.
+	consider := func(t *transmission) {
 		if t.end <= now {
-			continue
+			return
 		}
-		// Physical carrier sense around the sender; virtual carrier
-		// sense (the RTS/CTS NAV) only reaches nodes that can decode
-		// the receiver's CTS, i.e. within reception range of it.
-		occupies := t.pos.Dist(p) <= cs ||
-			(m.cfg.VirtualCS && t.hasRx && t.rxPos.Dist(p) <= m.cfg.Range)
+		occupies := t.pos.Dist2(p) <= cs2 ||
+			(m.cfg.VirtualCS && t.hasRx && t.rxPos.Dist2(p) <= range2)
 		if occupies {
 			busy = true
 			if t.end > until {
@@ -210,25 +311,113 @@ func (m *Medium) busyFor(p geom.Point) (bool, des.Time) {
 			}
 		}
 	}
+	if m.txIdx == nil {
+		for _, t := range m.active[m.head:] {
+			consider(t)
+		}
+		return busy, until
+	}
+	// Both anchor kinds are covered by one query of radius cs: a
+	// transmission occupying p has its sender anchor within cs, or its
+	// receiver anchor within Range ≤ cs. Anchors are positions frozen
+	// at the start of the airing, so no movement slack is needed. A
+	// unicast airing indexed under both anchors may be visited twice;
+	// consider is idempotent.
+	m.txIdx.Near(p, cs, func(h int, _ geom.Point) bool {
+		consider(m.txByHandle[h])
+		return true
+	})
 	return busy, until
 }
 
-// pruneActive drops transmissions old enough that they can no longer
-// overlap anything in flight.
-func (m *Medium) pruneActive() {
+// activeSlack is how long a finished transmission is retained, in
+// seconds; far larger than any frame airtime, so every airing that could
+// still overlap an in-flight one is kept.
+const activeSlack = 1.0
+
+// allocHandle registers t under a recycled spatial-index handle at
+// anchor p.
+func (m *Medium) allocHandle(t *transmission, p geom.Point) int {
+	var h int
+	if n := len(m.freeHandles); n > 0 {
+		h = m.freeHandles[n-1]
+		m.freeHandles = m.freeHandles[:n-1]
+		m.txByHandle[h] = t
+	} else {
+		h = len(m.txByHandle)
+		m.txByHandle = append(m.txByHandle, t)
+	}
+	m.txIdx.Update(h, p)
+	return h
+}
+
+// releaseHandle unregisters handle h.
+func (m *Medium) releaseHandle(h int) {
+	m.txIdx.Remove(h)
+	m.txByHandle[h] = nil
+	m.freeHandles = append(m.freeHandles, h)
+}
+
+// indexTransmission registers a fresh airing with the spatial index:
+// the transmission is bucketed under its anchor cells, and the sender's
+// cached cell is refreshed from the position just observed.
+func (m *Medium) indexTransmission(t *transmission) {
+	if m.txIdx == nil {
+		t.h1 = -1
+		return
+	}
+	if m.cfg.IndexSlack > 0 {
+		m.radioIdx.Update(t.from.id, t.pos) // lazy refresh of the sender
+	}
+	t.h0 = m.allocHandle(t, t.pos)
+	t.h1 = -1
+	if t.hasRx {
+		t.h1 = m.allocHandle(t, t.rxPos)
+	}
+	// Remember the airing interval on the sender for half-duplex
+	// checks, pruning entries too old to overlap anything in flight.
 	now := m.sched.Now()
-	const slack = 1.0 // seconds; far larger than any frame airtime
-	keep := m.active[:0]
-	for _, t := range m.active {
-		if t.end+slack > now {
-			keep = append(keep, t)
+	keep := t.from.recent[:0]
+	for _, u := range t.from.recent {
+		if u.end+activeSlack > now {
+			keep = append(keep, u)
 		}
 	}
-	// Nil out the tail so dropped transmissions can be collected.
-	for i := len(keep); i < len(m.active); i++ {
-		m.active[i] = nil
+	t.from.recent = append(keep, airing{start: t.start, end: t.end})
+}
+
+// pruneActive drops transmissions old enough that they can no longer
+// overlap anything in flight. Airings expire in near-FIFO order (they
+// are appended in start order and airtimes are bounded by activeSlack),
+// so popping from the front is amortized O(1) per airing; the handful of
+// out-of-order stragglers a long frame keeps alive are filtered by the
+// overlap checks like any other retained entry.
+func (m *Medium) pruneActive() {
+	now := m.sched.Now()
+	for m.head < len(m.active) && m.active[m.head].end+activeSlack <= now {
+		t := m.active[m.head]
+		if m.txIdx != nil {
+			m.releaseHandle(t.h0)
+			if t.h1 >= 0 {
+				m.releaseHandle(t.h1)
+			}
+		}
+		m.active[m.head] = nil // allow collection
+		m.head++
+		t.frame = nil // drop the payload reference while pooled
+		m.txFree = append(m.txFree, t)
 	}
-	m.active = keep
+	if m.head == len(m.active) {
+		m.active = m.active[:0]
+		m.head = 0
+	} else if m.head >= 64 && m.head*2 >= len(m.active) {
+		n := copy(m.active, m.active[m.head:])
+		for i := n; i < len(m.active); i++ {
+			m.active[i] = nil
+		}
+		m.active = m.active[:n]
+		m.head = 0
+	}
 }
 
 // corruptedAt reports whether reception of t at position p (receiver id
@@ -238,57 +427,138 @@ func (m *Medium) pruneActive() {
 // survive: with two-ray path loss, power ratio ≈ (d_interferer/d_sender)⁴.
 func (m *Medium) corruptedAt(t *transmission, rid int, p geom.Point) bool {
 	ir := m.cfg.Range * m.cfg.CSRangeFactor
-	dWanted := t.pos.Dist(p)
-	for _, u := range m.active {
+	ir2 := ir * ir
+	dWanted2 := t.pos.Dist2(p)
+	corrupts := func(u *transmission) bool {
 		if u == t || !t.overlaps(u) {
-			continue
+			return false
 		}
 		if u.from.id == rid {
 			return true // half-duplex: was transmitting during t
 		}
-		dInt := u.pos.Dist(p)
-		if dInt > ir {
-			continue // interferer too far to matter
+		dInt2 := u.pos.Dist2(p)
+		if dInt2 > ir2 {
+			return false // interferer too far to matter
 		}
-		if m.cfg.CaptureRatio > 0 && dWanted > 0 {
-			ratio := dInt / dWanted
-			if ratio*ratio*ratio*ratio >= m.cfg.CaptureRatio {
-				continue // captured: wanted signal dominates
+		if m.cfg.CaptureRatio > 0 && dWanted2 > 0 {
+			ratio2 := dInt2 / dWanted2
+			if ratio2*ratio2 >= m.cfg.CaptureRatio {
+				return false // captured: wanted signal dominates
 			}
 		}
 		return true
 	}
+	if m.txIdx == nil {
+		for _, u := range m.active[m.head:] {
+			if corrupts(u) {
+				return true
+			}
+		}
+		return false
+	}
+	// Half-duplex first: the receiver's own overlapping airings corrupt
+	// regardless of distance, so they come from the per-radio history
+	// rather than the (distance-bounded) candidate set. t is never the
+	// receiver's own airing (senders do not receive themselves), so no
+	// identity check is needed.
+	for _, u := range m.radios[rid].recent {
+		if t.start < u.end && u.start < t.end {
+			return true
+		}
+	}
+	// txCand was gathered once for this airing by gatherInterferers; it
+	// is a superset of every transmission within interference range of
+	// any receiver of t, so the exact predicate decides.
+	for _, u := range m.txCand {
+		if u.from.id != rid && corrupts(u) {
+			return true
+		}
+	}
 	return false
+}
+
+// gatherInterferers collects, once per airing, the active transmissions
+// that could interfere at any of t's receivers. Every receiver lies
+// within Range of t.pos and an interferer matters within ir of the
+// receiver, so one index query of radius Range+ir around the sender
+// covers them all. A unicast airing indexed under both of its anchors
+// may appear twice; corruptedAt's predicate is idempotent, so
+// duplicates only cost a re-check.
+func (m *Medium) gatherInterferers(t *transmission) {
+	m.txCand = m.txCand[:0]
+	reach := m.cfg.Range * (1 + m.cfg.CSRangeFactor)
+	m.txIdx.Near(t.pos, reach, func(h int, _ geom.Point) bool {
+		if u := m.txByHandle[h]; u != t {
+			m.txCand = append(m.txCand, u)
+		}
+		return true
+	})
 }
 
 // finishTransmission resolves receptions at the end of an airing and
 // reports whether the unicast destination (if any) received the frame.
 func (m *Medium) finishTransmission(t *transmission) bool {
 	m.pruneActive()
-	dstOK := false
-	for _, r := range m.radios {
-		if r.id == t.from.id {
-			continue
+	if m.txIdx != nil {
+		m.gatherInterferers(t)
+	}
+	if dst := t.frame.Dst; dst != Broadcast {
+		// Unicast fast path: only the destination can accept the frame,
+		// and radio ids are dense insertion indices, so the id→radio
+		// lookup is O(1) regardless of network size.
+		if dst < 0 || dst >= len(m.radios) || dst == t.from.id {
+			return false
 		}
-		if t.frame.Dst != Broadcast && r.id != t.frame.Dst {
-			continue
+		return m.deliverTo(t, m.radios[dst])
+	}
+	if m.radioIdx == nil {
+		for _, r := range m.radios {
+			if r.id != t.from.id {
+				m.deliverTo(t, r)
+			}
 		}
-		p := r.pos()
-		if t.pos.Dist(p) > m.cfg.Range {
-			continue
-		}
-		if m.corruptedAt(t, r.id, p) {
-			m.stats.Collisions++
-			continue
-		}
-		m.stats.Delivered++
-		r.recvCount++
-		if r.id == t.frame.Dst {
-			dstOK = true
-		}
-		if r.onRecv != nil {
-			r.onRecv(t.frame)
+		return false
+	}
+	// Candidate receivers are the radios indexed within reception range
+	// of the sender, widened by IndexSlack to cover movement since
+	// their cells were last refreshed. The ids are snapshotted (the
+	// deliveries below move entries between cells) and visited in index
+	// order, which is deterministic for a given seed but differs from
+	// the naive path's id order; the delivered frame set is identical
+	// either way.
+	m.scratch = m.radioIdx.NearIDs(t.pos, m.cfg.Range+m.cfg.IndexSlack, m.scratch[:0])
+	for _, id := range m.scratch {
+		if id != t.from.id {
+			m.deliverTo(t, m.radios[id])
 		}
 	}
-	return dstOK
+	return false
+}
+
+// deliverTo attempts reception of t at radio r and reports success. As a
+// side effect it refreshes r's cached grid cell from the position just
+// observed.
+func (m *Medium) deliverTo(t *transmission, r *Radio) bool {
+	p := r.pos()
+	if t.pos.Dist2(p) > m.cfg.Range*m.cfg.Range {
+		return false
+	}
+	if m.radioIdx != nil && m.cfg.IndexSlack > 0 {
+		// Lazy refresh: the receiver's position was just observed.
+		// Out-of-range candidates are left to the periodic Reindex,
+		// which alone bounds staleness to what IndexSlack covers. Zero
+		// slack promises static radios (see Config.IndexSlack), where
+		// no refresh is ever needed.
+		m.radioIdx.Update(r.id, p)
+	}
+	if m.corruptedAt(t, r.id, p) {
+		m.stats.Collisions++
+		return false
+	}
+	m.stats.Delivered++
+	r.recvCount++
+	if r.onRecv != nil {
+		r.onRecv(t.frame)
+	}
+	return true
 }

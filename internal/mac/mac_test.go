@@ -116,6 +116,70 @@ func TestUnicastDeliveredOnlyToDestination(t *testing.T) {
 	}
 }
 
+// TestUnicastFastPathMatchesBroadcastReachability pins down the unicast
+// fast path: with many radios packed inside reception range, a unicast
+// must invoke onRecv on the destination only, while the identical
+// broadcast run proves the destination was reachable the same way —
+// Stats.Delivered is 1 for the unicast vs one reception per in-range
+// radio for the broadcast.
+func TestUnicastFastPathMatchesBroadcastReachability(t *testing.T) {
+	positions := []geom.Point{
+		geom.Pt(0, 0), geom.Pt(30, 0), geom.Pt(0, 30), geom.Pt(30, 30), geom.Pt(60, 0),
+	}
+	run := func(dst int) (*testNet, Stats) {
+		cfg := DefaultConfig(100)
+		n := newTestNet(t, cfg, positions)
+		n.sched.At(0, func() { n.radios[0].Send(&Frame{Dst: dst, Bits: 8000, Payload: "fp"}) })
+		n.sched.Run(1)
+		return n, n.medium.Stats()
+	}
+
+	uni, uniStats := run(3)
+	for i := range positions {
+		want := 0
+		if i == 3 {
+			want = 1
+		}
+		if got := len(uni.recv[i]); got != want {
+			t.Errorf("unicast: radio %d received %d frames, want %d", i, got, want)
+		}
+	}
+	if uniStats.Delivered != 1 {
+		t.Errorf("unicast Delivered = %d, want 1", uniStats.Delivered)
+	}
+
+	bc, bcStats := run(Broadcast)
+	if got := len(bc.recv[3]); got != 1 {
+		t.Fatalf("broadcast-equivalent run: destination received %d frames, want 1", got)
+	}
+	// Every radio is within 100 m of the sender, so the broadcast
+	// delivers once per non-sender — the unicast count matches the
+	// destination's share of it exactly.
+	if want := uint64(len(positions) - 1); bcStats.Delivered != want {
+		t.Errorf("broadcast Delivered = %d, want %d", bcStats.Delivered, want)
+	}
+	if len(bc.recv[3]) != len(uni.recv[3]) {
+		t.Errorf("destination receptions differ: broadcast %d vs unicast %d", len(bc.recv[3]), len(uni.recv[3]))
+	}
+}
+
+// TestUnicastSelfAddressedFails pins the fast path's guard: a frame
+// addressed to its own sender is never delivered (the naive loop always
+// skipped the sender) and fails after the retry budget.
+func TestUnicastSelfAddressedFails(t *testing.T) {
+	cfg := DefaultConfig(100)
+	n := newTestNet(t, cfg, []geom.Point{geom.Pt(0, 0), geom.Pt(10, 0)})
+	f := &Frame{Dst: 0, Bits: 800}
+	n.sched.At(0, func() { n.radios[0].Send(f) })
+	n.sched.Run(5)
+	if ok, exists := n.sent[0][f]; !exists || ok {
+		t.Error("self-addressed unicast should complete with ok=false")
+	}
+	if got := n.medium.Stats().Delivered; got != 0 {
+		t.Errorf("Delivered = %d, want 0", got)
+	}
+}
+
 func TestUnicastOutOfRangeFailsAfterRetries(t *testing.T) {
 	cfg := DefaultConfig(100)
 	n := newTestNet(t, cfg, []geom.Point{geom.Pt(0, 0), geom.Pt(500, 0)})

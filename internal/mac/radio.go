@@ -19,6 +19,10 @@ type Radio struct {
 	attemptArmed bool // a backoff/deferral attempt event is pending
 	cw           int  // current contention window in slots
 	retries      int  // retries consumed by the head-of-line frame
+	// recent holds this radio's own latest airing intervals for
+	// half-duplex checks (spatial-index mode only); pruned on each new
+	// airing.
+	recent []airing
 
 	// Per-radio counters.
 	sentOK     uint64
@@ -106,13 +110,13 @@ func (r *Radio) startTransmission() {
 	f := r.queue[0]
 	r.transmitting = true
 	now := m.sched.Now()
-	t := &transmission{
-		from:  r,
-		frame: f,
-		start: now,
-		end:   now + m.frameAirtime(f),
-		pos:   r.pos(),
-	}
+	t := m.takeTx()
+	t.from = r
+	t.frame = f
+	t.start = now
+	t.end = now + m.frameAirtime(f)
+	t.pos = r.pos()
+	t.hasRx = false
 	if f.Dst != Broadcast && f.Dst >= 0 && f.Dst < len(m.radios) {
 		// Virtual carrier sense (RTS/CTS): the receiver's surroundings
 		// also treat the channel as busy for this airing.
@@ -120,13 +124,16 @@ func (r *Radio) startTransmission() {
 		t.hasRx = true
 	}
 	m.active = append(m.active, t)
+	m.inflight++
+	m.indexTransmission(t)
 	m.stats.Transmissions++
-	m.sched.At(t.end, func() { r.endTransmission(t) })
+	m.sched.At(t.end, t.onEnd)
 }
 
 // endTransmission resolves the airing outcome and advances the queue.
 func (r *Radio) endTransmission(t *transmission) {
 	m := r.medium
+	m.inflight--
 	r.transmitting = false
 	dstOK := m.finishTransmission(t)
 	f := t.frame
@@ -154,7 +161,12 @@ func (r *Radio) endTransmission(t *transmission) {
 // contention state, and moves on — after SIFS, modelling ack turnaround.
 func (r *Radio) completeHead(f *Frame, ok bool) {
 	m := r.medium
-	r.queue = r.queue[1:]
+	// Shift rather than reslice so the queue's backing array keeps its
+	// capacity (queue[1:] would strand one slot per completed frame and
+	// force a reallocation on the next Send).
+	n := copy(r.queue, r.queue[1:])
+	r.queue[n] = nil
+	r.queue = r.queue[:n]
 	r.retries = 0
 	r.cw = m.cfg.CWMin
 	if ok {

@@ -50,6 +50,11 @@ type Scenario struct {
 
 	// MACOverride, when non-nil, replaces the derived MAC configuration.
 	MACOverride *mac.Config
+
+	// DisableSpatialIndex makes the medium resolve receptions with the
+	// naive O(n) scans instead of the uniform-grid index. Results are
+	// identical; the node-count sweep uses it to measure the win.
+	DisableSpatialIndex bool
 }
 
 // DefaultScenario returns the paper's Table-1 baseline at the given
@@ -106,10 +111,14 @@ func (s Scenario) Validate() error {
 
 // MACConfig returns the MAC configuration for the scenario.
 func (s Scenario) MACConfig() mac.Config {
+	cfg := mac.DefaultConfig(s.Range)
 	if s.MACOverride != nil {
-		return *s.MACOverride
+		cfg = *s.MACOverride
 	}
-	return mac.DefaultConfig(s.Range)
+	if s.DisableSpatialIndex {
+		cfg.DisableSpatialIndex = true
+	}
+	return cfg
 }
 
 // TrafficItem schedules one message generation.

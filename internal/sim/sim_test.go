@@ -200,6 +200,51 @@ func TestWorldDeterministicAcrossRuns(t *testing.T) {
 	}
 }
 
+func TestWorldSetsIndexSlackForMobility(t *testing.T) {
+	// The world must widen spatial-index queries to cover the drift a
+	// node can accumulate between two Reindex ticks.
+	s := smallScenario()
+	w, err := NewWorld(s, directFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.MaxSpeed*s.BeaconInterval + 1
+	if got := w.Medium().Config().IndexSlack; got != want {
+		t.Errorf("IndexSlack = %v, want %v", got, want)
+	}
+	// An explicit override is left alone.
+	s2 := smallScenario()
+	mc := s2.MACConfig()
+	mc.IndexSlack = 123
+	s2.MACOverride = &mc
+	w2, err := NewWorld(s2, directFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Medium().Config().IndexSlack; got != 123 {
+		t.Errorf("override IndexSlack = %v, want 123", got)
+	}
+}
+
+func TestWorldNaiveMediumMatchesGridDelivery(t *testing.T) {
+	// Full-stack sanity for the DisableSpatialIndex escape hatch: the
+	// same scenario must still deliver traffic without the index. (The
+	// exact per-frame equivalence property lives in internal/mac.)
+	s := smallScenario()
+	s.DisableSpatialIndex = true
+	if !s.MACConfig().DisableSpatialIndex {
+		t.Fatal("scenario flag must reach the MAC config")
+	}
+	w, err := NewWorld(s, directFactory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := w.Run()
+	if rep.Delivered != rep.Generated {
+		t.Errorf("naive medium delivered %d/%d", rep.Delivered, rep.Generated)
+	}
+}
+
 func TestWorldSeedChangesOutcome(t *testing.T) {
 	// Different seeds must at least produce different node trajectories
 	// (metric digests can coincide in tiny uncontended scenarios).

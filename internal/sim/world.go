@@ -39,8 +39,16 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 		rng:       newRand(cfg.Seed),
 	}
 
+	macCfg := cfg.MACConfig()
+	if !macCfg.DisableSpatialIndex && macCfg.IndexSlack == 0 {
+		// The medium's radio index is refreshed once per beacon
+		// interval (see scheduleReindex), so cached cells can be stale
+		// by up to MaxSpeed × BeaconInterval metres of movement; widen
+		// index queries by that drift bound plus a safety metre.
+		macCfg.IndexSlack = cfg.MaxSpeed*cfg.BeaconInterval + 1
+	}
 	var err error
-	w.medium, err = mac.NewMedium(w.sched, cfg.MACConfig(), cfg.Seed^0x5eed)
+	w.medium, err = mac.NewMedium(w.sched, macCfg, cfg.Seed^0x5eed)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +84,18 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 	w.scheduleBeacons()
 	w.scheduleTraffic()
 	w.scheduleStorageSampler()
+	w.scheduleReindex()
 	return w, nil
+}
+
+// scheduleReindex amortizes spatial-index maintenance over beacon ticks:
+// one bulk refresh of every radio's grid cell per beacon interval bounds
+// cell staleness to the drift the medium's IndexSlack covers. The ticker
+// runs even when the index is disabled (Reindex is then a no-op) so that
+// indexed and naive runs of the same scenario dispatch identical event
+// sequences and stay comparable.
+func (w *World) scheduleReindex() {
+	des.NewTicker(w.sched, w.cfg.BeaconInterval, 0, w.medium.Reindex)
 }
 
 // scheduleBeacons starts the per-node hello tickers with random phases so
