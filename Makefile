@@ -2,8 +2,17 @@
 # what CI runs.
 
 GO ?= go
+# bash + pipefail so `go test | tee` pipelines fail when go test fails.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -c
 
-.PHONY: build test test-short bench fmt vet ci
+# Benchmarks under the CI regression gate (spanner construction + MAC
+# medium + the calibration probe benchgate normalizes by).
+BENCH_GATE_PATTERN := BenchmarkSpanner|BenchmarkDelaunay|BenchmarkMedium|BenchmarkCalibration
+BENCH_GATE_PKGS := ./internal/geom ./internal/ldt ./internal/mac
+BENCH_GATE_FLAGS := -benchmem -count 5 -benchtime 0.3s -run '^$$'
+
+.PHONY: build test test-short bench bench-gate bench-baseline fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -17,9 +26,23 @@ test:
 test-short:
 	$(GO) test -race -short ./...
 
-## bench runs the medium micro-benchmarks (naive vs spatial grid).
+## bench runs the gated benchmarks once, without the regression gate.
 bench:
-	$(GO) test -bench=BenchmarkMedium -benchmem -run='^$$' ./internal/mac
+	$(GO) test -bench '$(BENCH_GATE_PATTERN)' -benchmem -run '^$$' $(BENCH_GATE_PKGS)
+
+## bench-gate is the CI regression job: five repetitions per benchmark,
+## median ns/op normalized by the calibration probe, fail on >15%
+## regression vs ci/bench_baseline.json. Emits BENCH_spanner.json.
+bench-gate:
+	$(GO) test -bench '$(BENCH_GATE_PATTERN)' $(BENCH_GATE_FLAGS) $(BENCH_GATE_PKGS) | tee bench.txt
+	$(GO) run ./cmd/benchgate -in bench.txt -baseline ci/bench_baseline.json \
+		-out BENCH_spanner.json -tolerance 0.15
+
+## bench-baseline refreshes the committed baseline (run on an idle
+## machine; commit the result together with the change that moved it).
+bench-baseline:
+	$(GO) test -bench '$(BENCH_GATE_PATTERN)' $(BENCH_GATE_FLAGS) $(BENCH_GATE_PKGS) | tee bench.txt
+	$(GO) run ./cmd/benchgate -in bench.txt -write ci/bench_baseline.json
 
 fmt:
 	$(GO) fmt ./...
@@ -28,10 +51,10 @@ vet:
 	$(GO) vet ./...
 
 ## ci is the whole pipeline: build, formatting gate, vet, short tests,
-## and a single-iteration benchmark smoke run.
+## and the benchmark-regression gate.
 ci: build
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
-	$(GO) test -bench=BenchmarkMedium -benchtime=1x -run='^$$' ./internal/mac
+	$(MAKE) bench-gate

@@ -1,0 +1,220 @@
+// Command benchgate turns `go test -bench` output into a committed JSON
+// baseline and gates CI on benchmark regressions.
+//
+// Usage:
+//
+//	go test -bench '...' -count 5 -run '^$' ./... | tee bench.txt
+//	benchgate -in bench.txt -write ci/bench_baseline.json        # refresh baseline
+//	benchgate -in bench.txt -baseline ci/bench_baseline.json \
+//	          -out BENCH_spanner.json -tolerance 0.15           # gate
+//
+// Parsing takes the MEDIAN ns/op across the -count repetitions of each
+// benchmark, which is robust to scheduler noise. Before comparing, both
+// sides are normalized by the BenchmarkCalibration probe (a fixed
+// CPU-bound workload): the gate compares
+//
+//	(current ns/op ÷ current calibration) vs (baseline ns/op ÷ baseline calibration)
+//
+// so a slower or faster CI runner shifts every benchmark and the probe
+// together and cancels out, while a real code regression moves only the
+// affected benchmarks. A benchmark is a failure when its normalized
+// ratio exceeds 1 + tolerance. Benchmarks present in the baseline but
+// missing from the run fail the gate; new benchmarks are reported and
+// recorded but not gated.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// calibrationName marks the machine-speed probe; it is recorded but never
+// gated.
+const calibrationName = "Calibration"
+
+// Entry is one benchmark's digest.
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"` // median across repetitions
+	Samples int     `json:"samples"`
+}
+
+// File is the JSON schema shared by the baseline and the emitted report.
+type File struct {
+	Note       string           `json:"note,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output file (default stdin)")
+		write     = flag.String("write", "", "write/refresh the baseline at this path and exit")
+		baseline  = flag.String("baseline", "", "baseline JSON to gate against")
+		out       = flag.String("out", "", "write the current digest (with verdicts in the note) to this path")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression after normalization")
+	)
+	flag.Parse()
+
+	cur, err := parse(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *write != "" {
+		cur.Note = "median ns/op across -count repetitions; regenerate with `make bench-baseline`"
+		if err := emit(*write, cur); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: wrote baseline %s (%d benchmarks)\n", *write, len(cur.Benchmarks))
+		return
+	}
+
+	if *baseline == "" {
+		fatal(fmt.Errorf("need -baseline (or -write to create one)"))
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	failures, report := compare(base, cur, *tolerance)
+	cur.Note = report
+	if *out != "" {
+		if err := emit(*out, cur); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Print(report)
+	if len(failures) > 0 {
+		fmt.Printf("benchgate: FAIL — %d regression(s) beyond %.0f%%\n", len(failures), *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: OK")
+}
+
+// parse reads bench output and digests it to per-benchmark medians.
+func parse(path string) (File, error) {
+	var r io.Reader = os.Stdin
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return File{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		samples[name] = append(samples[name], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return File{}, err
+	}
+	out := File{Benchmarks: map[string]Entry{}}
+	for name, xs := range samples {
+		out.Benchmarks[name] = Entry{NsPerOp: median(xs), Samples: len(xs)}
+	}
+	return out, nil
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// compare gates cur against base and renders a human-readable report.
+func compare(base, cur File, tolerance float64) (failures []string, report string) {
+	scale := 1.0
+	bc, okB := base.Benchmarks[calibrationName]
+	cc, okC := cur.Benchmarks[calibrationName]
+	var b strings.Builder
+	if okB && okC && bc.NsPerOp > 0 && cc.NsPerOp > 0 {
+		scale = cc.NsPerOp / bc.NsPerOp
+		fmt.Fprintf(&b, "calibration: runner is %.2fx the baseline machine; comparing normalized ns/op\n", scale)
+	} else {
+		fmt.Fprintf(&b, "calibration probe missing on one side; comparing raw ns/op\n")
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		if name != calibrationName {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		be := base.Benchmarks[name]
+		ce, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, name)
+			fmt.Fprintf(&b, "  MISSING %-28s baseline %.0f ns/op, absent from this run\n", name, be.NsPerOp)
+			continue
+		}
+		ratio := (ce.NsPerOp / scale) / be.NsPerOp
+		verdict := "ok"
+		if ratio > 1+tolerance {
+			verdict = "REGRESSION"
+			failures = append(failures, name)
+		}
+		fmt.Fprintf(&b, "  %-10s %-28s %9.0f -> %9.0f ns/op (normalized %+.1f%%)\n",
+			verdict, name, be.NsPerOp, ce.NsPerOp, (ratio-1)*100)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok && name != calibrationName {
+			fmt.Fprintf(&b, "  new        %-28s %9.0f ns/op (not gated; refresh the baseline to track)\n",
+				name, cur.Benchmarks[name].NsPerOp)
+		}
+	}
+	return failures, b.String()
+}
+
+func load(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func emit(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -8,23 +8,49 @@
 //	glrexp -exp fig7
 //	glrexp -exp tab6 -scale paper
 //	glrexp -all
+//	glrexp -exp scale -sizes 500 -runs 1 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"glr"
+	"glr/internal/experiments"
 )
 
 func main() {
+	// All work happens in run so deferred profile flushes execute before
+	// the process exits — os.Exit here would truncate the CPU profile
+	// and drop the heap profile exactly when a failing run needs them.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "glrexp:", err)
+		if err == errUsage {
+			flag.Usage()
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+var errUsage = fmt.Errorf("need -list, -exp, or -all")
+
+func run() error {
 	var (
-		list    = flag.Bool("list", false, "list available experiments")
-		exp     = flag.String("exp", "", "experiment id to run (fig1, fig3, fig4..7, tab2..6)")
-		all     = flag.Bool("all", false, "run every experiment")
-		scale   = flag.String("scale", "quick", `"quick" (3 runs, 20% load) or "paper" (10 runs, full load)`)
-		verbose = flag.Bool("v", false, "print per-point progress")
+		list       = flag.Bool("list", false, "list available experiments")
+		exp        = flag.String("exp", "", "experiment id to run (fig1, fig3, fig4..7, tab2..6, ablate, scale)")
+		all        = flag.Bool("all", false, "run every experiment")
+		scale      = flag.String("scale", "quick", `"quick" (3 runs, 20% load) or "paper" (10 runs, full load)`)
+		verbose    = flag.Bool("v", false, "print per-point progress")
+		sizes      = flag.String("sizes", "", "scale experiment only: comma-separated node counts (e.g. 500 or 250,1000)")
+		runs       = flag.Int("runs", 0, "scale experiment only: override replications per point (the sweep caps this at 3; see NodeCountSweep)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -34,16 +60,28 @@ func main() {
 	case "paper":
 		sc = glr.Paper
 	default:
-		fmt.Fprintf(os.Stderr, "glrexp: unknown scale %q\n", *scale)
-		os.Exit(2)
+		return fmt.Errorf("unknown scale %q", *scale)
 	}
 
 	if *list {
 		for _, info := range glr.Experiments() {
 			fmt.Printf("%-5s %-9s %s\n", info.ID, info.Title, info.Description)
 		}
-		return
+		return nil
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memprofile)
 
 	var progress func(string, ...any)
 	if *verbose {
@@ -52,25 +90,87 @@ func main() {
 		}
 	}
 
-	runOne := func(id string) {
-		out, err := glr.RunExperimentVerbose(id, sc, progress)
+	runOne := func(id string) error {
+		out, err := runExperiment(id, sc, progress, *sizes, *runs)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "glrexp:", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println(out)
+		return nil
 	}
 
 	switch {
 	case *all:
 		for _, info := range glr.Experiments() {
 			fmt.Printf("=== %s: %s ===\n", info.Title, info.Description)
-			runOne(info.ID)
+			if err := runOne(info.ID); err != nil {
+				return err
+			}
 		}
+		return nil
 	case *exp != "":
-		runOne(*exp)
+		return runOne(*exp)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		return errUsage
+	}
+}
+
+// runExperiment dispatches one artifact; the scale sweep honours the
+// -sizes/-runs overrides (the CI profile job runs a single 500-node
+// point).
+func runExperiment(id string, sc glr.Scale, progress func(string, ...any), sizes string, runs int) (string, error) {
+	if id != "scale" || (sizes == "" && runs == 0) {
+		return glr.RunExperimentVerbose(id, sc, progress)
+	}
+	o := experiments.QuickOptions()
+	if sc == glr.Paper {
+		o = experiments.PaperOptions()
+	}
+	o.Progress = progress
+	if runs > 0 {
+		o.Runs = runs
+	}
+	sz, err := parseSizes(sizes)
+	if err != nil {
+		return "", err
+	}
+	res, err := experiments.NodeCountSweep(o, sz)
+	if err != nil {
+		return "", err
+	}
+	return res.Render(), nil
+}
+
+// parseSizes parses "500" or "250,1000" ("" means the default sweep).
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("glrexp: bad -sizes entry %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// writeMemProfile records the post-GC heap at exit.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "glrexp:", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "glrexp:", err)
 	}
 }

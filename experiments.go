@@ -154,7 +154,7 @@ var experimentTable = map[string]struct {
 		},
 	},
 	"scale": {
-		ExperimentInfo{"scale", "Scaling", "Node-count sweep (100..1000 nodes, fixed density): delivery + wall-clock, grid vs naive medium"},
+		ExperimentInfo{"scale", "Scaling", "Node-count sweep (100..1000 nodes, fixed density): delivery + wall-clock + spanner-construction time, cached vs from-scratch spanner"},
 		func(o experiments.Options) (string, error) {
 			r, err := experiments.NodeCountSweep(o, nil)
 			if err != nil {

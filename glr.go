@@ -40,9 +40,46 @@
 // topologies). The naive O(n²) path remains available behind
 // mac.Config.DisableSpatialIndex as an escape hatch and benchmark
 // baseline: BenchmarkMediumBroadcast{Naive,Grid} in internal/mac compare
-// the two on a 1000-radio medium, and the node-count scaling sweep
-// (`glrexp -exp scale`) reports delivery ratio and wall-clock for
-// 100..1000-node scenarios at the paper's density in both modes.
+// the two on a 1000-radio medium.
+//
+// The GLR routing loop's spanner construction — the per-check k-LDTG a
+// node derives from beacon knowledge — runs through a persistent cache
+// (ldt.Maintainer, one shared per world) instead of re-triangulating
+// every witness neighborhood from scratch each check interval:
+//
+//   - Witness triangulations and whole accepted-neighbor results are
+//     keyed by exact signatures (member ids plus IEEE-754 position bits,
+//     sorted by id), so permuted views, repeated checks, and overlapping
+//     neighborhoods of different nodes all reuse one entry, and any
+//     movement or membership change misses rather than returning stale
+//     state. Correctness therefore never depends on invalidation;
+//     invalidation is hygiene: beacons feed Maintainer.Observe with the
+//     freshest position per node, and a periodic sweep evicts entries
+//     built from superseded coordinates once they stop being queried,
+//     plus anything idle past a short TTL.
+//   - Cold rebuilds use an adjacency-based Bowyer–Watson triangulator
+//     (geom.Triangulator: neighbor-linked mesh, walk-based point
+//     location, BFS cavity search, ghost triangles for the hull,
+//     reusable scratch buffers), which replaces the reference
+//     implementation's O(triangles) scans per insertion and cuts a
+//     256-point construction from ~15 ms to ~0.3 ms with ~60× fewer
+//     allocations. The reference construction is kept as
+//     geom.DelaunayRef and is equivalence-tested against the mesh.
+//   - The Gabriel and UDG ablation spanners ride the same result cache.
+//   - core.Config.DisableSpannerCache restores the from-scratch
+//     reference path (mirroring DisableSpatialIndex); equivalence tests
+//     in internal/core assert that cached and from-scratch runs produce
+//     identical per-node accepted-neighbor sets and identical end-to-end
+//     reports across randomized mobile scenarios.
+//
+// The node-count scaling sweep (`glrexp -exp scale`) reports delivery,
+// wall-clock, and spanner-construction time for 100..1000-node scenarios
+// at the paper's density in both spanner modes; at 1000 nodes the cached
+// path cuts spanner construction ~3.6× and total wall-clock ~1.7×. CI
+// guards the hot paths with a benchmark-regression gate (cmd/benchgate):
+// spanner + medium benchmarks run five times, per-benchmark median ns/op
+// is normalized by a calibration probe, and any >15% regression against
+// the committed ci/bench_baseline.json fails the build.
 package glr
 
 import (

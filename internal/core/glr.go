@@ -113,6 +113,12 @@ type Config struct {
 	// graph (no planarization — face routing loses its guarantees).
 	// Ablation knob for the §2.1 design choice.
 	Spanner SpannerKind
+	// DisableSpannerCache makes every route check rebuild its spanner
+	// from scratch with the reference construction instead of going
+	// through the shared ldt.Maintainer (which reuses witness
+	// triangulations across check intervals and across nodes). Results
+	// are identical; the node-count sweep uses it to measure the win.
+	DisableSpannerCache bool
 	// FullTableExchange implements the §2.3.1 extension the paper
 	// describes but leaves disabled: "for best location accuracy,
 	// location tables should be exchanged whenever two nodes meet each
@@ -178,6 +184,13 @@ func (c Config) Validate() error {
 type GLR struct {
 	cfg Config
 	n   *sim.Node
+	// maint caches spanner state (witness triangulations and accepted
+	// neighbor sets) keyed by exact member positions. It is shared by
+	// every node of a world — the simulation is single-threaded, and
+	// overlapping neighborhoods make one node's construction the next
+	// node's cache hit. Invalidation rides the beacon path (OnBeacon →
+	// Observe).
+	maint *ldt.Maintainer
 
 	store *dtn.CustodyStore
 	// pendingAcks tracks, per cached message, the tree-branch flags that
@@ -220,13 +233,23 @@ func (g *GLR) Stats() Stats { return g.stats }
 
 // New builds a GLR factory for sim.NewWorld.
 func New(cfg Config) (sim.ProtocolFactory, error) {
+	factory, _, err := NewInstrumented(cfg)
+	return factory, err
+}
+
+// NewInstrumented is New plus access to the world's shared spanner
+// cache, for experiments that report construction cost and hit rates.
+// Every node built by the returned factory shares the one Maintainer.
+func NewInstrumented(cfg Config) (sim.ProtocolFactory, *ldt.Maintainer, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	maint := ldt.NewMaintainer(cfg.DisableSpannerCache)
 	return func(n *sim.Node) sim.Protocol {
 		return &GLR{
 			cfg:           cfg,
 			n:             n,
+			maint:         maint,
 			store:         dtn.NewCustodyStore(n.StorageLimit()),
 			pendingAcks:   make(map[dtn.MessageID]dtn.TreeFlags),
 			face:          make(map[dtn.MessageID]*ldt.FaceState),
@@ -236,7 +259,7 @@ func New(cfg Config) (sim.ProtocolFactory, error) {
 			deliveredHere: make(map[dtn.MessageID]bool),
 			lastTableSync: make(map[int]float64),
 		}
-	}, nil
+	}, maint, nil
 }
 
 // Init implements sim.Protocol: start the periodic route check with a

@@ -36,33 +36,32 @@ func (g *GLR) routeCheck() {
 
 // localSpanner constructs this node's current routing-graph incident
 // edges from 2-hop beacon knowledge (the LDTG by default; Gabriel or the
-// raw UDG under ablation). It returns the view plus parallel id/position
-// slices of the accepted neighbors (global ids).
+// raw UDG under ablation), through the world's shared spanner cache —
+// or from scratch when Config.DisableSpannerCache is set. It returns the
+// view plus parallel id/position slices of the accepted neighbors
+// (global ids).
 func (g *GLR) localSpanner() (*ldt.LocalView, []int, []geom.Point) {
 	ids, pts := g.n.Neighbors().TwoHopPoints(g.n.ID(), g.n.Pos())
 	view, err := ldt.NewLocalView(g.n.ID(), ids, pts, g.n.Range())
 	if err != nil {
 		return nil, nil, nil
 	}
-	var local []int
-	switch g.cfg.Spanner {
-	case SpannerGabriel:
-		local = view.GabrielNeighbors()
-	case SpannerUDG:
-		local = view.UDGNeighbors()
-	default:
-		local, err = view.LDTGNeighbors(g.cfg.K)
-		if err != nil {
-			return view, nil, nil
-		}
-	}
-	nbrIDs := make([]int, len(local))
-	nbrPts := make([]geom.Point, len(local))
-	for i, li := range local {
-		nbrIDs[i] = ids[li]
-		nbrPts[i] = pts[li]
+	nbrIDs, nbrPts, err := g.maint.Neighbors(view, g.spannerVariant(), g.cfg.K, g.n.Now())
+	if err != nil {
+		return view, nil, nil
 	}
 	return view, nbrIDs, nbrPts
+}
+
+// spannerVariant maps the config's spanner choice to the cache's.
+func (g *GLR) spannerVariant() ldt.Variant {
+	switch g.cfg.Spanner {
+	case SpannerGabriel:
+		return ldt.VariantGabriel
+	case SpannerUDG:
+		return ldt.VariantUDG
+	}
+	return ldt.VariantLDTG
 }
 
 // refreshDstLoc updates a message's destination estimate before a routing

@@ -161,8 +161,14 @@ func TestNodeCountSweepSmoke(t *testing.T) {
 		t.Fatalf("got %d points, want 2", len(res.Points))
 	}
 	for _, p := range res.Points {
-		if p.WallGrid <= 0 || p.WallNaive <= 0 {
-			t.Errorf("n=%d: wall-clock not measured: grid %v naive %v", p.N, p.WallGrid, p.WallNaive)
+		if p.WallCached <= 0 || p.WallScratch <= 0 {
+			t.Errorf("n=%d: wall-clock not measured: cached %v scratch %v", p.N, p.WallCached, p.WallScratch)
+		}
+		if p.SpannerCached <= 0 || p.SpannerScratch <= 0 {
+			t.Errorf("n=%d: spanner time not measured: cached %v scratch %v", p.N, p.SpannerCached, p.SpannerScratch)
+		}
+		if !p.Identical {
+			t.Errorf("n=%d: cached and from-scratch runs diverged", p.N)
 		}
 		if p.Region.W <= p.Region.H {
 			t.Errorf("n=%d: region %v should keep the 5:1 aspect", p.N, p.Region)
@@ -175,7 +181,7 @@ func TestNodeCountSweepSmoke(t *testing.T) {
 		t.Errorf("per-node area drifts: %.1f vs %.1f", a0, a1)
 	}
 	out := res.Render()
-	for _, want := range []string{"scaling sweep", "Wall grid", "Speedup"} {
+	for _, want := range []string{"scaling sweep", "Spanner cached", "Speedup", "identical"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q", want)
 		}

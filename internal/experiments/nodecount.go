@@ -7,6 +7,9 @@ import (
 	"time"
 
 	"glr/internal/asciiplot"
+	"glr/internal/core"
+	"glr/internal/ldt"
+	"glr/internal/metrics"
 	"glr/internal/mobility"
 	"glr/internal/sim"
 	"glr/internal/stats"
@@ -20,23 +23,38 @@ var NodeCountSizes = []int{100, 250, 500, 1000}
 const paperDensity = 50.0 / (1500 * 300)
 
 // NodeCountPoint is one sweep point: the same scenario run with the
-// spatial index (the default) and with the naive full-scan medium, with
-// wall-clock time measured for each.
+// shared spanner cache (the default) and with the from-scratch reference
+// spanner path, with wall-clock and spanner-construction time measured
+// for each. Both runs use the grid-indexed medium (PR 1); the naive
+// medium keeps its own benchmarks in internal/mac.
 type NodeCountPoint struct {
-	N             int
-	Region        mobility.Region
-	Delivery      stats.MeanCI // grid runs
-	DeliveryNaive stats.MeanCI
-	WallGrid      time.Duration // mean per run
-	WallNaive     time.Duration
+	N               int
+	Region          mobility.Region
+	Delivery        stats.MeanCI  // cached runs
+	DeliveryScratch stats.MeanCI  // from-scratch runs
+	WallCached      time.Duration // mean per run
+	WallScratch     time.Duration
+	SpannerCached   time.Duration // mean spanner-construction time per run
+	SpannerScratch  time.Duration
+	TriHitRate      float64 // cached runs: witness-triangulation reuse
+	Identical       bool    // cached and from-scratch reports matched exactly
 }
 
-// Speedup returns naive wall-clock over grid wall-clock.
-func (p NodeCountPoint) Speedup() float64 {
-	if p.WallGrid <= 0 {
+// SpannerSpeedup returns from-scratch spanner-construction time over
+// cached.
+func (p NodeCountPoint) SpannerSpeedup() float64 {
+	if p.SpannerCached <= 0 {
 		return 0
 	}
-	return float64(p.WallNaive) / float64(p.WallGrid)
+	return float64(p.SpannerScratch) / float64(p.SpannerCached)
+}
+
+// WallSpeedup returns from-scratch wall-clock over cached wall-clock.
+func (p NodeCountPoint) WallSpeedup() float64 {
+	if p.WallCached <= 0 {
+		return 0
+	}
+	return float64(p.WallScratch) / float64(p.WallCached)
 }
 
 // NodeCountResult is the node-count scaling sweep artifact.
@@ -62,13 +80,28 @@ func nodeCountScenario(n, msgs int, seed int64) sim.Scenario {
 	return s
 }
 
+// executeInstrumented runs one GLR scenario with spanner instrumentation.
+func executeInstrumented(s sim.Scenario, cfg core.Config) (metrics.Report, ldt.SpannerStats, error) {
+	factory, maint, err := core.NewInstrumented(cfg)
+	if err != nil {
+		return metrics.Report{}, ldt.SpannerStats{}, err
+	}
+	w, err := sim.NewWorld(s, factory)
+	if err != nil {
+		return metrics.Report{}, ldt.SpannerStats{}, err
+	}
+	rep := w.Run()
+	return rep, maint.Stats(), nil
+}
+
 // NodeCountSweep measures how the simulator scales with node count at
-// fixed density: delivery ratio plus wall-clock per run for the
-// grid-indexed medium vs the naive O(n²) resolution. sizes nil means
-// NodeCountSizes. Replications are run sequentially (never in parallel)
-// so the wall-clock comparison is not distorted by CPU contention; runs
-// are capped at 3 because the point is the timing trend, not tight
-// confidence intervals.
+// fixed density: delivery ratio, wall-clock, and spanner-construction
+// time per run for the cached spanner path vs the from-scratch reference
+// (core.Config.DisableSpannerCache). sizes nil means NodeCountSizes.
+// Replications are run sequentially (never in parallel) so the
+// wall-clock comparison is not distorted by CPU contention; o.Runs is
+// capped at 3 — even when overridden via `glrexp -runs` — because the
+// point is the timing trend, not tight confidence intervals.
 func NodeCountSweep(o Options, sizes []int) (*NodeCountResult, error) {
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -84,40 +117,54 @@ func NodeCountSweep(o Options, sizes []int) (*NodeCountResult, error) {
 			return nil, fmt.Errorf("experiments: node count %d must be ≥ 2", n)
 		}
 		msgs := o.messages(n)
-		point := NodeCountPoint{N: n}
-		grid := make([]float64, runs)
-		naive := make([]float64, runs)
-		var wallGrid, wallNaive time.Duration
+		point := NodeCountPoint{N: n, Identical: true}
+		cached := make([]float64, runs)
+		scratch := make([]float64, runs)
+		var hitStats ldt.SpannerStats
 		for r := 0; r < runs; r++ {
 			seed := o.BaseSeed + int64(r)
-			for _, disable := range []bool{false, true} {
+			var reports [2]metrics.Report
+			for i, disable := range []bool{false, true} {
 				s := nodeCountScenario(n, msgs, seed)
-				s.DisableSpatialIndex = disable
 				point.Region = s.Region
+				cfg := core.DefaultConfig()
+				cfg.DisableSpannerCache = disable
 				start := time.Now()
-				rep, err := (runSpec{scenario: s, proto: ProtoGLR}).execute()
+				rep, st, err := executeInstrumented(s, cfg)
 				elapsed := time.Since(start)
 				if err != nil {
 					return nil, err
 				}
+				reports[i] = rep
 				if disable {
-					naive[r] = rep.DeliveryRatio
-					wallNaive += elapsed
+					scratch[r] = rep.DeliveryRatio
+					point.WallScratch += elapsed
+					point.SpannerScratch += st.BuildTime
 				} else {
-					grid[r] = rep.DeliveryRatio
-					wallGrid += elapsed
+					cached[r] = rep.DeliveryRatio
+					point.WallCached += elapsed
+					point.SpannerCached += st.BuildTime
+					hitStats.Add(st)
 				}
 			}
+			if reports[0] != reports[1] {
+				point.Identical = false
+			}
 		}
-		point.Delivery = stats.ConfidenceInterval(grid, o.Confidence)
-		point.DeliveryNaive = stats.ConfidenceInterval(naive, o.Confidence)
-		point.WallGrid = wallGrid / time.Duration(runs)
-		point.WallNaive = wallNaive / time.Duration(runs)
+		point.Delivery = stats.ConfidenceInterval(cached, o.Confidence)
+		point.DeliveryScratch = stats.ConfidenceInterval(scratch, o.Confidence)
+		point.WallCached /= time.Duration(runs)
+		point.WallScratch /= time.Duration(runs)
+		point.SpannerCached /= time.Duration(runs)
+		point.SpannerScratch /= time.Duration(runs)
+		point.TriHitRate = hitStats.TriHitRate()
 		res.Points = append(res.Points, point)
 		res.msgs = append(res.msgs, msgs)
-		o.progress("scale: n=%d -> delivery %.2f, wall grid %v vs naive %v (%.1fx)",
-			n, point.Delivery.Mean, point.WallGrid.Round(time.Millisecond),
-			point.WallNaive.Round(time.Millisecond), point.Speedup())
+		o.progress("scale: n=%d -> delivery %.2f, spanner %v vs %v (%.1fx, hit %.0f%%), wall %v vs %v",
+			n, point.Delivery.Mean,
+			point.SpannerCached.Round(time.Millisecond), point.SpannerScratch.Round(time.Millisecond),
+			point.SpannerSpeedup(), 100*point.TriHitRate,
+			point.WallCached.Round(time.Millisecond), point.WallScratch.Round(time.Millisecond))
 	}
 	return res, nil
 }
@@ -125,37 +172,48 @@ func NodeCountSweep(o Options, sizes []int) (*NodeCountResult, error) {
 // Render prints the sweep table.
 func (r *NodeCountResult) Render() string {
 	rows := make([][]string, len(r.Points))
+	allIdentical := true
 	for i, p := range r.Points {
+		if !p.Identical {
+			allIdentical = false
+		}
 		rows[i] = []string{
 			fmt.Sprintf("%d", p.N),
 			fmt.Sprintf("%.0fx%.0f m", p.Region.W, p.Region.H),
 			fmt.Sprintf("%d", r.msgs[i]),
 			fmt.Sprintf("%.2f±%.2f", p.Delivery.Mean, p.Delivery.HalfWidth),
-			fmt.Sprintf("%.2f±%.2f", p.DeliveryNaive.Mean, p.DeliveryNaive.HalfWidth),
-			p.WallGrid.Round(time.Millisecond).String(),
-			p.WallNaive.Round(time.Millisecond).String(),
-			fmt.Sprintf("%.1fx", p.Speedup()),
+			p.SpannerCached.Round(time.Millisecond).String(),
+			p.SpannerScratch.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.1fx", p.SpannerSpeedup()),
+			fmt.Sprintf("%.0f%%", 100*p.TriHitRate),
+			p.WallCached.Round(time.Millisecond).String(),
+			p.WallScratch.Round(time.Millisecond).String(),
 		}
 	}
 	var sb strings.Builder
 	sb.WriteString(asciiplot.Table{
 		Title:   fmt.Sprintf("Node-count scaling sweep (fixed density, GLR, %d run(s)/point)", r.Runs),
-		Headers: []string{"Nodes", "Region", "Msgs", "Delivery", "Delivery naive", "Wall grid", "Wall naive", "Speedup"},
+		Headers: []string{"Nodes", "Region", "Msgs", "Delivery", "Spanner cached", "Spanner scratch", "Speedup", "Tri hits", "Wall cached", "Wall scratch"},
 		Rows:    rows,
 	}.Render())
-	sb.WriteString("The spatial-grid medium resolves receptions over the sender's\n" +
-		"neighborhood only, so per-beacon cost stays flat as the network grows;\n" +
-		"the naive medium scans every radio per airing and falls behind\n" +
-		"quadratically. Delivery ratios agree up to MAC-level tie-breaking.\n")
+	sb.WriteString("Spanner columns time the GLR routing loop's local-graph construction:\n" +
+		"\"cached\" goes through the shared ldt.Maintainer (mesh triangulator,\n" +
+		"witness-triangulation reuse across ticks and nodes), \"scratch\" rebuilds\n" +
+		"per check with the reference construction (DisableSpannerCache).\n")
+	if allIdentical {
+		sb.WriteString("Both paths produced identical end-to-end reports at every point.\n")
+	} else {
+		sb.WriteString("WARNING: cached and from-scratch runs disagreed at some point —\n" +
+			"this should never happen; see the equivalence tests in internal/core.\n")
+	}
 	return sb.String()
 }
 
-// SpeedupGrowsWithN reports whether the grid's wall-clock advantage
-// increases from the smallest to the largest sweep point.
-func (r *NodeCountResult) SpeedupGrowsWithN() bool {
-	n := len(r.Points)
-	if n < 2 {
-		return false
+// SpannerSpeedupAtLargestN returns the spanner-construction speedup at
+// the biggest sweep point (the headline the ROADMAP tracks).
+func (r *NodeCountResult) SpannerSpeedupAtLargestN() float64 {
+	if len(r.Points) == 0 {
+		return 0
 	}
-	return r.Points[n-1].Speedup() > r.Points[0].Speedup()
+	return r.Points[len(r.Points)-1].SpannerSpeedup()
 }

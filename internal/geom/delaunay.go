@@ -23,18 +23,31 @@ type Triangulation struct {
 // should deduplicate first (see DedupPoints).
 var ErrDuplicatePoint = errors.New("geom: duplicate point in Delaunay input")
 
-// Delaunay computes the Delaunay triangulation of pts with an incremental
-// Bowyer–Watson algorithm that needs no super-triangle: points falling
-// outside the current convex hull are connected through the hull edges they
-// can see, which is the exact at-infinity semantics a finite super-triangle
-// only approximates (and gets wrong near the hull). It is O(n²) in the
-// worst case, appropriate for the small local neighborhoods (≤ a few
-// hundred points) the GLR protocol triangulates.
+// Delaunay computes the Delaunay triangulation of pts with the
+// adjacency-based incremental Bowyer–Watson construction (see mesh.go):
+// triangle neighbor links, walk-based point location, and a BFS cavity
+// search make it O(n log n)-ish in practice instead of the reference
+// implementation's O(n²). Hot paths that triangulate repeatedly should
+// hold a Triangulator and call its Triangulate method to also reuse the
+// working storage.
 //
 // Degenerate inputs are handled: fewer than 3 points, or all points
 // collinear, yield a triangulation with no triangles (use DelaunayGraph for
 // the limit graph, which connects collinear points in path order).
 func Delaunay(pts []Point) (*Triangulation, error) {
+	return NewTriangulator().Triangulate(pts)
+}
+
+// DelaunayRef computes the Delaunay triangulation of pts with the
+// reference incremental Bowyer–Watson algorithm that needs no
+// super-triangle: points falling outside the current convex hull are
+// connected through the hull edges they can see, which is the exact
+// at-infinity semantics a finite super-triangle only approximates (and
+// gets wrong near the hull). It is O(n²) in the worst case. It is kept as
+// the independently-verifiable baseline the mesh construction is
+// equivalence-tested against, and as the fallback for exact degeneracies
+// the linked mesh cannot express.
+func DelaunayRef(pts []Point) (*Triangulation, error) {
 	t := &Triangulation{Points: pts}
 	n := len(pts)
 	if hasDuplicates(pts) {
@@ -44,10 +57,17 @@ func Delaunay(pts []Point) (*Triangulation, error) {
 		return t, nil
 	}
 
-	// Seed with the first non-collinear triple (0, 1, seed).
+	// Seed with the first non-collinear triple (0, 1, seed). The bound
+	// guards the scan: allCollinear and this loop use the same exact
+	// predicate today, but an out-of-range seed must degrade to the
+	// no-triangle result rather than index past the slice if the
+	// predicates ever diverge on near-collinear input.
 	seed := 2
-	for Orient(pts[0], pts[1], pts[seed]) == 0 {
+	for seed < n && Orient(pts[0], pts[1], pts[seed]) == 0 {
 		seed++
+	}
+	if seed == n {
+		return t, nil
 	}
 	tris := []Triangle{normalizeCCW(pts, Triangle{0, 1, seed})}
 
@@ -165,6 +185,12 @@ func triHasEdge(tr Triangle, u, v int) bool {
 // edge graph. Degenerate inputs (n < 3 or all collinear) produce the limit
 // graph: points connected in order along the common line.
 func DelaunayGraph(pts []Point) (*Graph, error) {
+	return NewTriangulator().Graph(pts)
+}
+
+// DelaunayGraphRef is DelaunayGraph over the reference construction
+// (DelaunayRef); see there for why it is kept.
+func DelaunayGraphRef(pts []Point) (*Graph, error) {
 	g := NewGraph(len(pts))
 	if len(pts) < 2 {
 		return g, nil
@@ -183,7 +209,7 @@ func DelaunayGraph(pts []Point) (*Graph, error) {
 		}
 		return g, nil
 	}
-	t, err := Delaunay(pts)
+	t, err := DelaunayRef(pts)
 	if err != nil {
 		return nil, err
 	}

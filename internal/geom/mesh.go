@@ -1,0 +1,443 @@
+package geom
+
+// Adjacency-based incremental Delaunay (Bowyer–Watson on a linked
+// triangle mesh). The reference implementation in delaunay.go rescans
+// every triangle per insertion, which is O(n²) overall and dominated the
+// GLR routing loop's spanner construction at scale. This mesh keeps
+// triangle neighbor links so each insertion is local:
+//
+//   - point location walks the mesh from the previously touched triangle
+//     instead of scanning;
+//   - the cavity (triangles whose circumcircle contains the new point) is
+//     found by breadth-first search across neighbor links from the
+//     containing triangle;
+//   - the hull is represented by ghost triangles sharing a virtual vertex
+//     at infinity, so points outside the current hull need no special
+//     code path — a ghost's "circumcircle" is the open half-plane its
+//     hull edge sees.
+//
+// All working storage lives in the Triangulator and is reused across
+// builds, eliminating the per-rebuild allocation churn of the reference
+// path. Exact degeneracies that the fan retriangulation cannot express in
+// a linked mesh (a new point exactly collinear with a cavity-boundary
+// edge, which only arises for inputs with exactly collinear triples) are
+// detected and handed to the reference implementation, so results are
+// always well defined for any float64 input.
+
+// ghostVertex is the virtual at-infinity vertex shared by hull (ghost)
+// triangles.
+const ghostVertex = -1
+
+// meshTri is one triangle of the linked mesh: vertices in counterclockwise
+// cyclic order (ghostVertex for the infinite vertex) and, per corner, the
+// neighbor across the opposite edge.
+type meshTri struct {
+	v [3]int
+	n [3]int
+}
+
+// ghost reports whether the triangle touches the at-infinity vertex.
+func (t *meshTri) ghost() bool {
+	return t.v[0] == ghostVertex || t.v[1] == ghostVertex || t.v[2] == ghostVertex
+}
+
+// boundEdge is one directed edge of a cavity boundary (cavity on the
+// left), together with the surviving triangle on its right and the slot
+// in that triangle pointing back into the cavity.
+type boundEdge struct {
+	a, b    int // directed edge, cavity on the left
+	out     int // surviving neighbor across the edge
+	outSlot int // index into out's n[] that pointed at the cavity
+}
+
+// Triangulator incrementally builds Delaunay triangulations, reusing its
+// mesh and scratch buffers across Triangulate calls. It is not safe for
+// concurrent use; create one per goroutine (the spanner cache in
+// internal/ldt owns one per simulated world).
+type Triangulator struct {
+	pts  []Point
+	tris []meshTri
+	free []int
+
+	state    []uint32 // per-triangle BFS state (see curBad/curGood)
+	stateGen uint32
+
+	stack  []int
+	cavity []int
+	bound  []boundEdge
+
+	// fanAt links the two new fan triangles sharing each cavity-boundary
+	// vertex during retriangulation. Keys are vertex ids (ghostVertex
+	// included); entries are cleared after every insertion.
+	fanAt map[int]fanSlot
+
+	last int // walk start hint: a live real triangle, or -1
+}
+
+type fanSlot struct {
+	tri  int
+	slot int
+}
+
+// NewTriangulator returns an empty Triangulator.
+func NewTriangulator() *Triangulator {
+	return &Triangulator{fanAt: make(map[int]fanSlot), last: -1}
+}
+
+// Triangulate computes the Delaunay triangulation of pts. The returned
+// Triangulation is freshly allocated and independent of the Triangulator;
+// internal mesh storage is reused across calls. Semantics match Delaunay:
+// duplicate points are rejected, and fewer than 3 points or an all-
+// collinear input yield a triangulation with no triangles.
+func (tr *Triangulator) Triangulate(pts []Point) (*Triangulation, error) {
+	t := &Triangulation{Points: pts}
+	if hasDuplicates(pts) {
+		return nil, ErrDuplicatePoint
+	}
+	if len(pts) < 3 || allCollinear(pts) {
+		return t, nil
+	}
+	if !tr.build(pts) {
+		// Exact degeneracy the mesh cannot express: defer to the
+		// reference construction (rare; requires exactly collinear
+		// triples positioned to make a zero-area fan).
+		return DelaunayRef(pts)
+	}
+	t.Triangles = tr.collect()
+	return t, nil
+}
+
+// Graph computes the Delaunay edge graph of pts with the same degenerate-
+// input semantics as DelaunayGraph (collinear inputs connect in path
+// order).
+func (tr *Triangulator) Graph(pts []Point) (*Graph, error) {
+	g := NewGraph(len(pts))
+	if len(pts) < 2 {
+		return g, nil
+	}
+	if hasDuplicates(pts) {
+		return nil, ErrDuplicatePoint
+	}
+	if len(pts) == 2 {
+		g.AddEdge(0, 1)
+		return g, nil
+	}
+	if allCollinear(pts) {
+		order := collinearOrder(pts)
+		for i := 0; i+1 < len(order); i++ {
+			g.AddEdge(order[i], order[i+1])
+		}
+		return g, nil
+	}
+	if !tr.build(pts) {
+		return DelaunayGraphRef(pts)
+	}
+	for ti := range tr.tris {
+		if tr.dead(ti) {
+			continue
+		}
+		mt := &tr.tris[ti]
+		if mt.ghost() {
+			continue
+		}
+		g.AddEdge(mt.v[0], mt.v[1])
+		g.AddEdge(mt.v[1], mt.v[2])
+		g.AddEdge(mt.v[2], mt.v[0])
+	}
+	return g, nil
+}
+
+// build runs the incremental construction over pts, which must contain a
+// non-collinear triple and no duplicates. It reports false when an exact
+// degeneracy requires the reference fallback.
+func (tr *Triangulator) build(pts []Point) bool {
+	tr.reset(pts)
+	n := len(pts)
+
+	// Seed with the first non-collinear triple (0, 1, seed), in the same
+	// order as the reference construction. Guard the scan: with exact
+	// predicates allCollinear and this loop agree, but the bound keeps a
+	// future predicate change from indexing past the slice.
+	seed := 2
+	for seed < n && Orient(pts[0], pts[1], pts[seed]) == 0 {
+		seed++
+	}
+	if seed == n {
+		return false
+	}
+	tr.seedMesh(0, 1, seed)
+
+	for i := 2; i < n; i++ {
+		if i == seed {
+			continue
+		}
+		if !tr.insert(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// reset prepares the Triangulator for a fresh build over pts.
+func (tr *Triangulator) reset(pts []Point) {
+	tr.pts = pts
+	tr.tris = tr.tris[:0]
+	tr.free = tr.free[:0]
+	tr.state = tr.state[:0]
+	tr.stateGen = 0
+	tr.last = -1
+}
+
+// alloc returns a triangle slot, reusing freed ones.
+func (tr *Triangulator) alloc(v0, v1, v2 int) int {
+	if k := len(tr.free); k > 0 {
+		ti := tr.free[k-1]
+		tr.free = tr.free[:k-1]
+		tr.tris[ti] = meshTri{v: [3]int{v0, v1, v2}, n: [3]int{-1, -1, -1}}
+		return ti
+	}
+	tr.tris = append(tr.tris, meshTri{v: [3]int{v0, v1, v2}, n: [3]int{-1, -1, -1}})
+	tr.state = append(tr.state, 0)
+	return len(tr.tris) - 1
+}
+
+// dead reports whether a slot is on the free list. Freed slots are marked
+// by a ghost-only sentinel.
+func (tr *Triangulator) dead(ti int) bool {
+	v := &tr.tris[ti].v
+	return v[0] == ghostVertex && v[1] == ghostVertex && v[2] == ghostVertex
+}
+
+func (tr *Triangulator) release(ti int) {
+	tr.tris[ti].v = [3]int{ghostVertex, ghostVertex, ghostVertex}
+	tr.free = append(tr.free, ti)
+}
+
+// seedMesh installs the first triangle (a, b, c oriented CCW) and its
+// three ghosts.
+func (tr *Triangulator) seedMesh(a, b, c int) {
+	if Orient(tr.pts[a], tr.pts[b], tr.pts[c]) < 0 {
+		b, c = c, b
+	}
+	t0 := tr.alloc(a, b, c)
+	// Ghost for hull edge u→v is (v, u, ghost): its "circumcircle" is the
+	// open half-plane strictly right of u→v.
+	gab := tr.alloc(b, a, ghostVertex)
+	gbc := tr.alloc(c, b, ghostVertex)
+	gca := tr.alloc(a, c, ghostVertex)
+	tr.tris[t0].n = [3]int{gbc, gca, gab}
+	tr.tris[gab].n = [3]int{gca, gbc, t0}
+	tr.tris[gbc].n = [3]int{gab, gca, t0}
+	tr.tris[gca].n = [3]int{gbc, gab, t0}
+	tr.last = t0
+}
+
+// bad reports whether triangle ti's circumcircle strictly contains p: the
+// InCircle predicate for real triangles, strict hull-edge visibility for
+// ghosts.
+func (tr *Triangulator) bad(ti int, p Point) bool {
+	mt := &tr.tris[ti]
+	for k := 0; k < 3; k++ {
+		if mt.v[k] == ghostVertex {
+			u, v := mt.v[(k+1)%3], mt.v[(k+2)%3]
+			return Orient(tr.pts[u], tr.pts[v], p) > 0
+		}
+	}
+	return InCircle(tr.pts[mt.v[0]], tr.pts[mt.v[1]], tr.pts[mt.v[2]], p) > 0
+}
+
+// locate walks the mesh toward p and returns a triangle whose circumcircle
+// strictly contains p (real containing triangle, or a strictly visible
+// ghost when p lies outside the hull). It reports false on the exact
+// degeneracies the caller must hand to the reference path.
+func (tr *Triangulator) locate(p Point) (int, bool) {
+	ti := tr.last
+	if ti < 0 || tr.dead(ti) || tr.tris[ti].ghost() {
+		ti = -1
+		for k := range tr.tris {
+			if !tr.dead(k) && !tr.tris[k].ghost() {
+				ti = k
+				break
+			}
+		}
+		if ti < 0 {
+			return 0, false
+		}
+	}
+	// Visibility walk: cross any edge that p lies strictly outside of.
+	// The walk terminates on a Delaunay mesh; the step cap turns any
+	// surprise into a safe fallback instead of a spin.
+	for steps := 4*len(tr.tris) + 16; steps > 0; steps-- {
+		mt := &tr.tris[ti]
+		moved := false
+		for k := 0; k < 3; k++ {
+			u, v := mt.v[(k+1)%3], mt.v[(k+2)%3]
+			if Orient(tr.pts[u], tr.pts[v], p) < 0 {
+				next := mt.n[k]
+				if tr.tris[next].ghost() {
+					return tr.visibleGhost(next, p)
+				}
+				ti = next
+				moved = true
+				break
+			}
+		}
+		if !moved {
+			return ti, true // p inside or on the boundary of ti
+		}
+	}
+	return 0, false
+}
+
+// visibleGhost returns a ghost whose hull edge strictly sees p, starting
+// from a ghost the locate walk exited through and scanning the ghost ring
+// when that edge sees p only degenerately (p exactly on the hull line).
+func (tr *Triangulator) visibleGhost(gi int, p Point) (int, bool) {
+	start := gi
+	for {
+		if tr.bad(gi, p) {
+			return gi, true
+		}
+		// Advance around the ghost ring: the neighbor across the spoke
+		// opposite the first real vertex is the adjacent ghost.
+		mt := &tr.tris[gi]
+		next := -1
+		for k := 0; k < 3; k++ {
+			if mt.v[k] != ghostVertex && tr.tris[mt.n[k]].ghost() {
+				next = mt.n[k]
+				break
+			}
+		}
+		if next < 0 || next == start {
+			return 0, false
+		}
+		gi = next
+	}
+}
+
+// insert adds point index ip to the mesh, reporting false on exact
+// degeneracies.
+func (tr *Triangulator) insert(ip int) bool {
+	p := tr.pts[ip]
+	seedTri, ok := tr.locate(p)
+	if !ok {
+		return false
+	}
+	if !tr.bad(seedTri, p) {
+		// locate found a containing triangle whose circumcircle does not
+		// strictly contain p — only possible for a duplicate vertex,
+		// which Triangulate already rejected. Treat as degenerate.
+		return false
+	}
+
+	// Cavity: BFS across neighbor links from the seed. state encodes
+	// per-generation bad/good verdicts so the scratch array needs no
+	// clearing between insertions.
+	curBad := 2*tr.stateGen + 1
+	curGood := 2*tr.stateGen + 2
+	tr.stateGen++
+	tr.stack = tr.stack[:0]
+	tr.cavity = tr.cavity[:0]
+	tr.bound = tr.bound[:0]
+
+	tr.state[seedTri] = curBad
+	tr.stack = append(tr.stack, seedTri)
+	tr.cavity = append(tr.cavity, seedTri)
+	for len(tr.stack) > 0 {
+		ti := tr.stack[len(tr.stack)-1]
+		tr.stack = tr.stack[:len(tr.stack)-1]
+		mt := &tr.tris[ti]
+		for k := 0; k < 3; k++ {
+			nb := mt.n[k]
+			if tr.state[nb] == curBad {
+				continue
+			}
+			if tr.state[nb] != curGood {
+				if tr.bad(nb, p) {
+					tr.state[nb] = curBad
+					tr.stack = append(tr.stack, nb)
+					tr.cavity = append(tr.cavity, nb)
+					continue
+				}
+				tr.state[nb] = curGood
+			}
+			// Boundary edge opposite corner k, cavity on its left.
+			a, b := mt.v[(k+1)%3], mt.v[(k+2)%3]
+			outSlot := -1
+			for s := 0; s < 3; s++ {
+				if tr.tris[nb].n[s] == ti {
+					outSlot = s
+					break
+				}
+			}
+			if outSlot < 0 {
+				return false
+			}
+			if a != ghostVertex && b != ghostVertex &&
+				Orient(tr.pts[a], tr.pts[b], p) <= 0 {
+				// A zero-area fan (p exactly collinear with a boundary
+				// edge) cannot be linked into the mesh; the reference
+				// path handles it by dropping the edge.
+				return false
+			}
+			tr.bound = append(tr.bound, boundEdge{a: a, b: b, out: nb, outSlot: outSlot})
+		}
+	}
+
+	// Retriangulate: fan p to every boundary edge. Edges that include the
+	// ghost vertex produce the new hull ghosts. Side edges pair up via the
+	// shared boundary vertex (each appears exactly twice on the cycle).
+	firstReal := -1
+	for _, e := range tr.bound {
+		nt := tr.alloc(e.a, e.b, ip)
+		if e.a != ghostVertex && e.b != ghostVertex && firstReal < 0 {
+			firstReal = nt
+		}
+		tr.tris[nt].n[2] = e.out
+		tr.tris[e.out].n[e.outSlot] = nt
+		// Edge (b, ip) opposite corner 0 pairs at vertex b; edge (ip, a)
+		// opposite corner 1 pairs at vertex a.
+		tr.linkFan(e.b, nt, 0)
+		tr.linkFan(e.a, nt, 1)
+	}
+	if len(tr.fanAt) != 0 || firstReal < 0 {
+		// The boundary was not a simple cycle (only possible on exact
+		// degeneracies): abandon the mesh for the reference path.
+		for v := range tr.fanAt {
+			delete(tr.fanAt, v)
+		}
+		return false
+	}
+	for _, ti := range tr.cavity {
+		tr.release(ti)
+	}
+	tr.last = firstReal
+	return true
+}
+
+// linkFan pairs the two fan triangles meeting at boundary vertex x.
+func (tr *Triangulator) linkFan(x, ti, slot int) {
+	if prev, ok := tr.fanAt[x]; ok {
+		tr.tris[ti].n[slot] = prev.tri
+		tr.tris[prev.tri].n[prev.slot] = ti
+		delete(tr.fanAt, x)
+		return
+	}
+	tr.fanAt[x] = fanSlot{tri: ti, slot: slot}
+}
+
+// collect extracts the live real triangles as a fresh slice.
+func (tr *Triangulator) collect() []Triangle {
+	out := make([]Triangle, 0, len(tr.tris)-len(tr.free))
+	for ti := range tr.tris {
+		if tr.dead(ti) {
+			continue
+		}
+		mt := &tr.tris[ti]
+		if mt.ghost() {
+			continue
+		}
+		out = append(out, Triangle{A: mt.v[0], B: mt.v[1], C: mt.v[2]})
+	}
+	return out
+}

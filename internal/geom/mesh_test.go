@@ -1,0 +1,272 @@
+package geom
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// edgesOf returns the sorted undirected edge list of a triangulation.
+func edgesOf(t *Triangulation) [][2]int { return t.Edges() }
+
+// TestMeshMatchesReferenceRandom: on points in general position (random
+// float64 coordinates — no exact collinear or cocircular quadruples), the
+// Delaunay triangulation is unique, so the mesh construction must return
+// exactly the reference edge set.
+func TestMeshMatchesReferenceRandom(t *testing.T) {
+	tr := NewTriangulator()
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(120)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*1500, rng.Float64()*300)
+		}
+		ref, err := DelaunayRef(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mesh, err := tr.Triangulate(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(edgesOf(ref), edgesOf(mesh)) {
+			t.Fatalf("seed %d n=%d: mesh edges differ from reference", seed, n)
+		}
+	}
+}
+
+// TestMeshMatchesReferenceClustered exercises walk-based location with
+// highly non-uniform densities (tight clusters plus far outliers).
+func TestMeshMatchesReferenceClustered(t *testing.T) {
+	tr := NewTriangulator()
+	for seed := int64(100); seed < 115; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var pts []Point
+		for c := 0; c < 4; c++ {
+			cx, cy := rng.Float64()*5000, rng.Float64()*5000
+			for i := 0; i < 5+rng.Intn(20); i++ {
+				pts = append(pts, Pt(cx+rng.Float64()*10, cy+rng.Float64()*10))
+			}
+		}
+		ref, err := DelaunayRef(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mesh, err := tr.Triangulate(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(edgesOf(ref), edgesOf(mesh)) {
+			t.Fatalf("seed %d: clustered mesh edges differ from reference", seed)
+		}
+	}
+}
+
+// TestMeshDegenerateInputs: grid and collinear configurations must still
+// produce a valid Delaunay triangulation (empty strict circumcircles,
+// planar, CCW) even where cocircular ties leave the diagonal choice free,
+// and exactly-collinear interior runs must exercise the reference
+// fallback without error.
+func TestMeshDegenerateInputs(t *testing.T) {
+	cases := map[string][]Point{
+		"grid3x3": {
+			Pt(0, 0), Pt(25, 0), Pt(50, 0),
+			Pt(0, 25), Pt(25, 25), Pt(50, 25),
+			Pt(0, 50), Pt(25, 50), Pt(50, 50),
+		},
+		"square": {Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)},
+		"collinear-run-then-apex": {
+			Pt(0, 0), Pt(10, 0), Pt(2, 0), Pt(7, 0), Pt(4, 0), Pt(5, 8),
+		},
+		"collinear-beyond-hull": {
+			Pt(0, 0), Pt(10, 0), Pt(5, 5), Pt(20, 0), Pt(-20, 0),
+		},
+		"point-on-edge": {
+			Pt(0, 0), Pt(10, 0), Pt(5, 10), Pt(5, 0),
+		},
+		"all-collinear": {Pt(0, 0), Pt(1, 0), Pt(2, 0), Pt(3, 0)},
+		"two-points":    {Pt(0, 0), Pt(1, 1)},
+	}
+	tr := NewTriangulator()
+	for name, pts := range cases {
+		mesh, err := tr.Triangulate(pts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkDelaunayValid(t, name, pts, mesh)
+	}
+}
+
+// checkDelaunayValid asserts CCW orientation, strict empty circumcircles,
+// and a planar embedding.
+func checkDelaunayValid(t *testing.T, name string, pts []Point, tri *Triangulation) {
+	t.Helper()
+	g := NewGraph(len(pts))
+	for _, tr := range tri.Triangles {
+		if Orient(pts[tr.A], pts[tr.B], pts[tr.C]) <= 0 {
+			t.Fatalf("%s: triangle %v not CCW", name, tr)
+		}
+		for i, p := range pts {
+			if i == tr.A || i == tr.B || i == tr.C {
+				continue
+			}
+			if InCircle(pts[tr.A], pts[tr.B], pts[tr.C], p) > 0 {
+				t.Fatalf("%s: circumcircle of %v strictly contains point %d", name, tr, i)
+			}
+		}
+		g.AddEdge(tr.A, tr.B)
+		g.AddEdge(tr.B, tr.C)
+		g.AddEdge(tr.C, tr.A)
+	}
+	if !g.IsPlanarEmbedding(pts) {
+		t.Fatalf("%s: embedding not planar", name)
+	}
+}
+
+// TestMeshTriangulatorReuse: repeated builds over different point sets
+// from one Triangulator must not leak state between calls.
+func TestMeshTriangulatorReuse(t *testing.T) {
+	tr := NewTriangulator()
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 30; round++ {
+		n := 3 + rng.Intn(60)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*100, rng.Float64()*100)
+		}
+		ref, err := DelaunayRef(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mesh, err := tr.Triangulate(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(edgesOf(ref), edgesOf(mesh)) {
+			t.Fatalf("round %d: reused triangulator diverged from reference", round)
+		}
+	}
+}
+
+// TestMeshGraphMatchesDelaunayGraph: the Graph method must agree with
+// building the graph from Triangulate's edges, including degenerate
+// collinear path graphs.
+func TestMeshGraphMatchesDelaunayGraph(t *testing.T) {
+	tr := NewTriangulator()
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 20; round++ {
+		n := 2 + rng.Intn(40)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Pt(rng.Float64()*400, rng.Float64()*400)
+		}
+		want, err := DelaunayGraphRef(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tr.Graph(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want.Edges(), got.Edges()) {
+			t.Fatalf("round %d: Graph edges differ from reference", round)
+		}
+	}
+	// Collinear limit graph.
+	got, err := tr.Graph([]Point{Pt(0, 0), Pt(2, 0), Pt(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]int{{0, 2}, {1, 2}}
+	if !reflect.DeepEqual(got.Edges(), want) {
+		t.Fatalf("collinear limit graph = %v, want %v", got.Edges(), want)
+	}
+}
+
+// TestMeshDuplicateRejected mirrors the reference behavior.
+func TestMeshDuplicateRejected(t *testing.T) {
+	tr := NewTriangulator()
+	if _, err := tr.Triangulate([]Point{Pt(0, 0), Pt(1, 1), Pt(0, 0), Pt(2, 0)}); err != ErrDuplicatePoint {
+		t.Fatalf("duplicate input: got %v, want ErrDuplicatePoint", err)
+	}
+}
+
+// TestSeedSearchGuardNearCollinear is the regression test for the seed
+// scan in DelaunayRef: ε-perturbed collinear inputs must neither panic
+// nor index past the slice, whichever side of the collinearity test the
+// exact predicates land on, and must still produce a valid triangulation
+// (or the degenerate empty one).
+func TestSeedSearchGuardNearCollinear(t *testing.T) {
+	base := []Point{Pt(0, 0), Pt(100, 0), Pt(200, 0), Pt(300, 0), Pt(400, 0)}
+	for _, eps := range []float64{0, 1e-300, 1e-18, 1e-12, 5e-9} {
+		for perturb := 0; perturb < len(base); perturb++ {
+			pts := make([]Point, len(base))
+			copy(pts, base)
+			pts[perturb].Y += eps
+			name := fmt.Sprintf("eps=%g@%d", eps, perturb)
+
+			ref, err := DelaunayRef(pts)
+			if err != nil {
+				t.Fatalf("%s: ref: %v", name, err)
+			}
+			mesh, err := Delaunay(pts)
+			if err != nil {
+				t.Fatalf("%s: mesh: %v", name, err)
+			}
+			if eps == 0 {
+				if len(ref.Triangles) != 0 || len(mesh.Triangles) != 0 {
+					t.Fatalf("%s: collinear input produced triangles", name)
+				}
+				continue
+			}
+			checkDelaunayValid(t, "ref-"+name, pts, ref)
+			checkDelaunayValid(t, "mesh-"+name, pts, mesh)
+		}
+	}
+}
+
+func randomBenchPoints(n int, seed int64) []Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Pt(rng.Float64()*1500, rng.Float64()*300)
+	}
+	return pts
+}
+
+// benchDelaunay measures one full construction of an n-point set, the
+// unit of work the GLR spanner performs per witness neighborhood.
+func benchDelaunay(b *testing.B, n int, f func([]Point) (*Triangulation, error)) {
+	pts := randomBenchPoints(n, 42)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDelaunayRef64(b *testing.B)  { benchDelaunay(b, 64, DelaunayRef) }
+func BenchmarkDelaunayMesh64(b *testing.B) { benchDelaunay(b, 64, Delaunay) }
+func BenchmarkDelaunayRef256(b *testing.B) { benchDelaunay(b, 256, DelaunayRef) }
+func BenchmarkDelaunayMesh256(b *testing.B) {
+	benchDelaunay(b, 256, Delaunay)
+}
+
+// BenchmarkDelaunayMeshReused256 measures the steady-state cost with the
+// Triangulator's scratch storage warm — the regime the spanner cache
+// operates in.
+func BenchmarkDelaunayMeshReused256(b *testing.B) {
+	pts := randomBenchPoints(256, 42)
+	tr := NewTriangulator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Triangulate(pts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

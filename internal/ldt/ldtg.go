@@ -190,7 +190,24 @@ func (v *LocalView) UDGNeighbors() []int {
 // make this differ slightly from the oracle BuildLDTG — exactly the
 // imprecision a real deployment has; greedy forwarding only requires each
 // node's own incident edge set.
+//
+// Every call rebuilds the witness triangulations from scratch (with a
+// per-call memo over shared witness neighborhoods). The protocol's hot
+// path goes through Maintainer instead, which keeps triangulations alive
+// across check intervals and across nodes.
 func (v *LocalView) LDTGNeighbors(k int) ([]int, error) {
+	return v.ldtgNeighbors(k, geom.DelaunayGraph)
+}
+
+// LDTGNeighborsRef is LDTGNeighbors over the reference (pre-mesh)
+// Delaunay construction. It is the protocol's from-scratch escape hatch
+// (core Config.DisableSpannerCache) and the baseline the cached path is
+// equivalence-tested and benchmarked against.
+func (v *LocalView) LDTGNeighborsRef(k int) ([]int, error) {
+	return v.ldtgNeighbors(k, geom.DelaunayGraphRef)
+}
+
+func (v *LocalView) ldtgNeighbors(k int, graphFn func([]geom.Point) (*geom.Graph, error)) ([]int, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("ldt: k must be ≥ 1, got %d", k)
 	}
@@ -226,7 +243,7 @@ func (v *LocalView) LDTGNeighbors(k int) ([]int, error) {
 			}
 			idx[m] = si
 		}
-		g, err := geom.DelaunayGraph(sub)
+		g, err := graphFn(sub)
 		if err != nil {
 			return nil, nil, err
 		}
