@@ -7,9 +7,11 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
 # Benchmarks under the CI regression gate (spanner construction + MAC
-# medium + the calibration probe benchgate normalizes by).
-BENCH_GATE_PATTERN := BenchmarkSpanner|BenchmarkDelaunay|BenchmarkMedium|BenchmarkCalibration
-BENCH_GATE_PKGS := ./internal/geom ./internal/ldt ./internal/mac
+# medium + dense node-state plane + beacon tick + the calibration probe
+# benchgate normalizes by). The gate covers ns/op (calibration-
+# normalized) and, from -benchmem, B/op and allocs/op (raw).
+BENCH_GATE_PATTERN := BenchmarkSpanner|BenchmarkDelaunay|BenchmarkMedium|BenchmarkNeighborTable|BenchmarkBeaconTick|BenchmarkCalibration
+BENCH_GATE_PKGS := ./internal/geom ./internal/ldt ./internal/mac ./internal/dtn ./internal/sim
 BENCH_GATE_FLAGS := -benchmem -count 5 -benchtime 0.3s -run '^$$'
 
 .PHONY: build test test-short bench bench-gate bench-baseline fmt vet ci

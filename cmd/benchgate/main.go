@@ -3,24 +3,31 @@
 //
 // Usage:
 //
-//	go test -bench '...' -count 5 -run '^$' ./... | tee bench.txt
+//	go test -bench '...' -benchmem -count 5 -run '^$' ./... | tee bench.txt
 //	benchgate -in bench.txt -write ci/bench_baseline.json        # refresh baseline
 //	benchgate -in bench.txt -baseline ci/bench_baseline.json \
 //	          -out BENCH_spanner.json -tolerance 0.15           # gate
 //
-// Parsing takes the MEDIAN ns/op across the -count repetitions of each
-// benchmark, which is robust to scheduler noise. Before comparing, both
-// sides are normalized by the BenchmarkCalibration probe (a fixed
-// CPU-bound workload): the gate compares
+// Parsing takes the MEDIAN of each metric across the -count repetitions
+// of each benchmark, which is robust to scheduler noise. Three metrics
+// are gated:
 //
-//	(current ns/op ÷ current calibration) vs (baseline ns/op ÷ baseline calibration)
+//   - ns/op, normalized by the BenchmarkCalibration probe (a fixed
+//     CPU-bound workload): the gate compares (current ns/op ÷ current
+//     calibration) vs (baseline ns/op ÷ baseline calibration), so a
+//     slower or faster CI runner shifts every benchmark and the probe
+//     together and cancels out, while a real code regression moves only
+//     the affected benchmarks.
+//   - B/op and allocs/op (from -benchmem), compared raw — allocation
+//     behaviour is machine-independent — with the same fractional
+//     tolerance plus a small absolute slack so near-zero baselines do
+//     not trip on a single stray allocation.
 //
-// so a slower or faster CI runner shifts every benchmark and the probe
-// together and cancels out, while a real code regression moves only the
-// affected benchmarks. A benchmark is a failure when its normalized
-// ratio exceeds 1 + tolerance. Benchmarks present in the baseline but
-// missing from the run fail the gate; new benchmarks are reported and
-// recorded but not gated.
+// A benchmark fails when any gated metric exceeds its allowance.
+// Benchmarks present in the baseline but missing from the run fail the
+// gate; new benchmarks are reported and recorded but not gated.
+// Baselines written before the memory metrics existed (no B/op fields)
+// gate ns/op only.
 package main
 
 import (
@@ -40,10 +47,21 @@ import (
 // gated.
 const calibrationName = "Calibration"
 
-// Entry is one benchmark's digest.
+// Absolute slack for the memory gates: regressions within these extra
+// amounts are tolerated on top of the fractional tolerance, so
+// zero-allocation baselines do not fail on noise like a one-off pool
+// growth.
+const (
+	allocSlack = 1.0  // allocs/op
+	bytesSlack = 64.0 // B/op
+)
+
+// Entry is one benchmark's digest (medians across repetitions).
 type Entry struct {
-	NsPerOp float64 `json:"ns_per_op"` // median across repetitions
-	Samples int     `json:"samples"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	Samples     int      `json:"samples"`
 }
 
 // File is the JSON schema shared by the baseline and the emitted report.
@@ -52,7 +70,11 @@ type File struct {
 	Benchmarks map[string]Entry `json:"benchmarks"`
 }
 
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+var (
+	benchLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+)\s+ns/op`)
+	bytesField = regexp.MustCompile(`([0-9.]+)\s+B/op`)
+	allocField = regexp.MustCompile(`([0-9.]+)\s+allocs/op`)
+)
 
 func main() {
 	var (
@@ -60,7 +82,7 @@ func main() {
 		write     = flag.String("write", "", "write/refresh the baseline at this path and exit")
 		baseline  = flag.String("baseline", "", "baseline JSON to gate against")
 		out       = flag.String("out", "", "write the current digest (with verdicts in the note) to this path")
-		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional ns/op regression after normalization")
+		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional regression per metric (ns/op normalized; B/op and allocs/op raw)")
 	)
 	flag.Parse()
 
@@ -73,7 +95,7 @@ func main() {
 	}
 
 	if *write != "" {
-		cur.Note = "median ns/op across -count repetitions; regenerate with `make bench-baseline`"
+		cur.Note = "median ns/op, B/op, allocs/op across -count repetitions; regenerate with `make bench-baseline`"
 		if err := emit(*write, cur); err != nil {
 			fatal(err)
 		}
@@ -114,10 +136,14 @@ func parse(path string) (File, error) {
 		defer f.Close()
 		r = f
 	}
-	samples := map[string][]float64{}
+	type samples struct {
+		ns, bytes, allocs []float64
+	}
+	byName := map[string]*samples{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -126,14 +152,38 @@ func parse(path string) (File, error) {
 		if err != nil {
 			continue
 		}
-		samples[name] = append(samples[name], ns)
+		s := byName[name]
+		if s == nil {
+			s = &samples{}
+			byName[name] = s
+		}
+		s.ns = append(s.ns, ns)
+		if bm := bytesField.FindStringSubmatch(line); bm != nil {
+			if v, err := strconv.ParseFloat(bm[1], 64); err == nil {
+				s.bytes = append(s.bytes, v)
+			}
+		}
+		if am := allocField.FindStringSubmatch(line); am != nil {
+			if v, err := strconv.ParseFloat(am[1], 64); err == nil {
+				s.allocs = append(s.allocs, v)
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return File{}, err
 	}
 	out := File{Benchmarks: map[string]Entry{}}
-	for name, xs := range samples {
-		out.Benchmarks[name] = Entry{NsPerOp: median(xs), Samples: len(xs)}
+	for name, s := range byName {
+		e := Entry{NsPerOp: median(s.ns), Samples: len(s.ns)}
+		if len(s.bytes) > 0 {
+			v := median(s.bytes)
+			e.BytesPerOp = &v
+		}
+		if len(s.allocs) > 0 {
+			v := median(s.allocs)
+			e.AllocsPerOp = &v
+		}
+		out.Benchmarks[name] = e
 	}
 	return out, nil
 }
@@ -146,6 +196,21 @@ func median(xs []float64) float64 {
 		return s[n/2]
 	}
 	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// memVerdict gates one raw memory metric (B/op or allocs/op): a failure
+// needs the current median to exceed the baseline by both the fractional
+// tolerance and the absolute slack. Metrics absent on either side
+// (pre-memory baseline, or a run without -benchmem) are not gated.
+func memVerdict(base, cur *float64, tolerance, slack float64) (regressed bool, detail string) {
+	if base == nil || cur == nil {
+		return false, ""
+	}
+	allowed := *base*(1+tolerance) + slack
+	if *cur > allowed {
+		return true, fmt.Sprintf("%.0f -> %.0f", *base, *cur)
+	}
+	return false, ""
 }
 
 // compare gates cur against base and renders a human-readable report.
@@ -177,13 +242,31 @@ func compare(base, cur File, tolerance float64) (failures []string, report strin
 			continue
 		}
 		ratio := (ce.NsPerOp / scale) / be.NsPerOp
-		verdict := "ok"
+		var problems []string
 		if ratio > 1+tolerance {
+			problems = append(problems, "ns/op")
+		}
+		if bad, detail := memVerdict(be.BytesPerOp, ce.BytesPerOp, tolerance, bytesSlack); bad {
+			problems = append(problems, "B/op "+detail)
+		}
+		if bad, detail := memVerdict(be.AllocsPerOp, ce.AllocsPerOp, tolerance, allocSlack); bad {
+			problems = append(problems, "allocs/op "+detail)
+		}
+		verdict := "ok"
+		if len(problems) > 0 {
 			verdict = "REGRESSION"
 			failures = append(failures, name)
 		}
-		fmt.Fprintf(&b, "  %-10s %-28s %9.0f -> %9.0f ns/op (normalized %+.1f%%)\n",
-			verdict, name, be.NsPerOp, ce.NsPerOp, (ratio-1)*100)
+		mem := ""
+		if ce.AllocsPerOp != nil {
+			mem = fmt.Sprintf(", %.0f allocs/op", *ce.AllocsPerOp)
+		}
+		note := ""
+		if len(problems) > 0 {
+			note = " [" + strings.Join(problems, "; ") + "]"
+		}
+		fmt.Fprintf(&b, "  %-10s %-28s %9.0f -> %9.0f ns/op (normalized %+.1f%%%s)%s\n",
+			verdict, name, be.NsPerOp, ce.NsPerOp, (ratio-1)*100, mem, note)
 	}
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok && name != calibrationName {

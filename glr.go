@@ -72,14 +72,51 @@
 //     identical per-node accepted-neighbor sets and identical end-to-end
 //     reports across randomized mobile scenarios.
 //
+// The per-node state plane — the neighbor and location tables every DTN
+// node refreshes on every received beacon — is dense and generation-
+// stamped rather than map-based: rows live in per-world id-indexed
+// arrays (dtn.NewDenseNeighborTable/NewDenseLocationTable), a row is
+// live iff its stamp matches the table generation (O(1) upsert, O(1)
+// whole-table reset), and a sorted live-id list keeps outputs in the
+// same deterministic order as the map-backed reference. The hot tick
+// path is allocation-free in steady state:
+//
+//   - Observe copies each beacon's advertised list into row-owned
+//     backing arrays reused across refreshes, so beacon payloads (frame,
+//     payload box, and neighbor buffer together) recycle on world-level
+//     free lists the moment the MAC resolves the broadcast; generic
+//     protocol frames and GLR data-frame boxes pool the same way.
+//   - Snapshot-style queries have appending variants (AppendAdvertised,
+//     AppendTwoHop) writing into caller-reused scratch, with generation-
+//     stamped marks replacing the per-call dedup map; the GLR routing
+//     loop feeds its spanner construction and per-message candidate
+//     sort entirely from per-instance scratch buffers.
+//   - The medium resolves receptions in per-tick batches: airings whose
+//     ends coincide are resolved by one pass that prunes the FIFO once
+//     and gathers a shared interferer-candidate set over the affected
+//     grid cells (epoch-stamped dedup), with closure-free NearIDs
+//     queries into reused buffers; per-radio backoff/defer retries reuse
+//     one pre-allocated handler.
+//   - The map-backed reference tables remain behind
+//     sim.Scenario.DisableDenseTables (mirroring DisableSpatialIndex and
+//     DisableSpannerCache); property tests in internal/dtn drive both
+//     backends through randomized churn — expiry, re-appearance, id
+//     reuse, relabeling — asserting identical outputs, and equivalence
+//     tests in internal/core prove byte-identical end-to-end reports
+//     across every escape-hatch combination.
+//
 // The node-count scaling sweep (`glrexp -exp scale`) reports delivery,
-// wall-clock, and spanner-construction time for 100..1000-node scenarios
-// at the paper's density in both spanner modes; at 1000 nodes the cached
-// path cuts spanner construction ~3.6× and total wall-clock ~1.7×. CI
-// guards the hot paths with a benchmark-regression gate (cmd/benchgate):
-// spanner + medium benchmarks run five times, per-benchmark median ns/op
-// is normalized by a calibration probe, and any >15% regression against
-// the committed ci/bench_baseline.json fails the build.
+// wall-clock, spanner-construction time (cached vs from-scratch), and
+// heap-allocation pressure (dense vs map-backed tables, via
+// runtime.ReadMemStats) for 100..1000-node scenarios at the paper's
+// density; at 1000 nodes the cached spanner path cuts construction
+// ~3.6× and the dense state plane removes over half of all heap
+// allocations. CI guards the hot paths with a benchmark-regression gate
+// (cmd/benchgate): spanner + medium + table + beacon-tick benchmarks
+// run five times with -benchmem, per-benchmark median ns/op is
+// normalized by a calibration probe while B/op and allocs/op gate raw,
+// and any >15% regression against the committed ci/bench_baseline.json
+// fails the build.
 package glr
 
 import (

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"glr/internal/dtn"
 	"glr/internal/geom"
 	"glr/internal/ldt"
@@ -12,11 +10,54 @@ import (
 // dataFrame carries one message copy hop to hop. The geo header includes
 // the sender's position and timestamp, enabling §2.3.1 diffusion; the
 // message itself carries the destination-location estimate.
+//
+// Frames travel as pooled pointers (one world-shared framePool): the
+// receiver copies Msg/Face out during reception, and the sender recycles
+// the frame when the MAC reports the unicast resolved — the only point
+// after which neither the medium nor any receiver reads it.
 type dataFrame struct {
 	Msg       dtn.Message
 	Face      ldt.FaceState // face-mode state travels with the copy
 	SenderPos geom.Point
 	SentAt    float64
+
+	owner  *GLR          // sending instance, for the completion callback
+	onDone func(ok bool) // persistent MAC callback (one alloc per pooled frame)
+}
+
+// framePool recycles dataFrame boxes on the internal/des free-list
+// pattern. It is shared by every node of a world (single-threaded like
+// the scheduler), so one node's completed send stocks the next node's.
+type framePool struct {
+	free     []*dataFrame
+	freeAcks []*ackBox
+}
+
+// take returns a recycled (or fresh) frame.
+func (p *framePool) take() *dataFrame {
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f
+	}
+	f := &dataFrame{}
+	f.onDone = func(ok bool) { f.owner.dataFrameResolved(f, ok) }
+	return f
+}
+
+// put recycles f, dropping every reference but the persistent callback.
+func (p *framePool) put(f *dataFrame) {
+	*f = dataFrame{onDone: f.onDone}
+	p.free = append(p.free, f)
+}
+
+// dataFrameResolved is the MAC completion callback for a data frame:
+// custody bookkeeping for failed branches, then recycle.
+func (g *GLR) dataFrameResolved(f *dataFrame, ok bool) {
+	if g.cfg.Custody && !ok {
+		g.onSendFailed(f.Msg.ID, f.Msg.Flags)
+	}
+	g.frames.put(f)
 }
 
 // ackFrame is the custody acknowledgment (§2.3.2): it identifies the
@@ -36,44 +77,71 @@ type ackFrame struct {
 	DstKnown   bool
 }
 
+// ackBox is a pooled ackFrame: one ack is sent per received copy under
+// custody, so the payload boxes recycle exactly like dataFrames.
+type ackBox struct {
+	ackFrame
+	owner  *GLR
+	onDone func(ok bool)
+}
+
+// takeAck returns a recycled (or fresh) ack box.
+func (p *framePool) takeAck() *ackBox {
+	if n := len(p.freeAcks); n > 0 {
+		a := p.freeAcks[n-1]
+		p.freeAcks = p.freeAcks[:n-1]
+		return a
+	}
+	a := &ackBox{}
+	a.onDone = func(bool) { a.owner.frames.putAck(a) }
+	return a
+}
+
+// putAck recycles a.
+func (p *framePool) putAck(a *ackBox) {
+	*a = ackBox{onDone: a.onDone}
+	p.freeAcks = append(p.freeAcks, a)
+}
+
 // forward transmits a stored message to its per-tree targets and performs
-// the custody bookkeeping. targets maps next-hop node id → the tree flags
-// the copy sent there carries.
-func (g *GLR) forward(m *dtn.Message, targets map[int]dtn.TreeFlags) {
+// the custody bookkeeping. targets lists next-hop picks sorted by node
+// id (deterministic transmission order); it may alias the instance's
+// scratch and is not retained.
+func (g *GLR) forward(m *dtn.Message, targets []hopTarget) {
 	now := g.n.Now()
 	selfPos := g.n.Pos()
 	faceState := ldt.FaceState{}
-	if st := g.face[m.ID]; st != nil {
-		faceState = *st
-	}
-
-	// Deterministic transmission order regardless of map layout.
-	dsts := make([]int, 0, len(targets))
-	for dst := range targets {
-		dsts = append(dsts, dst)
-	}
-	sort.Ints(dsts)
-
-	var sentFlags dtn.TreeFlags
-	for _, dst := range dsts {
-		flags := targets[dst]
-		copyMsg := *m
-		copyMsg.Flags = flags
-		frame := dataFrame{Msg: copyMsg, Face: faceState, SenderPos: selfPos, SentAt: now}
-		bits := m.PayloadBits + g.cfg.GeoHeaderBits
-		id, branch := m.ID, flags
-		g.n.Unicast(dst, sim.KindData, frame, bits, func(ok bool) {
-			if g.cfg.Custody && !ok {
-				g.onSendFailed(id, branch)
-			}
-		})
-		sentFlags |= flags
+	if st := g.state(m.ID); st != nil && st.hasFace {
+		faceState = st.face
 	}
 
 	if g.cfg.Custody {
-		// Move Store→Cache and await per-branch acks.
+		// Move Store→Cache and record every branch as pending BEFORE
+		// transmitting: a full link-layer queue makes the MAC resolve a
+		// frame synchronously inside Unicast, and onSendFailed must find
+		// the custody state in place to return the branch to the Store
+		// immediately rather than letting it ride out the cache timeout.
 		g.store.MarkSent(m.ID, now)
-		g.pendingAcks[m.ID] |= sentFlags
+		st := g.ensureState(m.ID)
+		for _, tgt := range targets {
+			st.pending |= tgt.flags
+		}
+		st.hasPending = true
+	}
+
+	for _, tgt := range targets {
+		f := g.frames.take()
+		f.owner = g
+		f.Msg = *m
+		f.Msg.Flags = tgt.flags
+		f.Face = faceState
+		f.SenderPos = selfPos
+		f.SentAt = now
+		bits := m.PayloadBits + g.cfg.GeoHeaderBits
+		g.n.Unicast(tgt.dst, sim.KindData, f, bits, f.onDone)
+	}
+
+	if g.cfg.Custody {
 		return
 	}
 	// Fire and forget (§2.3.2 inverted): without custody transfer the
@@ -94,14 +162,15 @@ func (g *GLR) onSendFailed(id dtn.MessageID, flags dtn.TreeFlags) {
 	if !g.cfg.Custody {
 		return
 	}
-	pending, ok := g.pendingAcks[id]
-	if !ok {
+	st := g.state(id)
+	if st == nil || !st.hasPending {
 		return
 	}
-	if remaining := pending &^ flags; remaining == 0 {
-		delete(g.pendingAcks, id)
+	if remaining := st.pending &^ flags; remaining == 0 {
+		st.pending = 0
+		st.hasPending = false
 	} else {
-		g.pendingAcks[id] = remaining
+		st.pending = remaining
 	}
 	if m := g.store.ReturnToStore(id); m != nil {
 		g.stats.CustodyReturns++
@@ -126,9 +195,11 @@ type tableRow struct {
 // OnFrame implements sim.Protocol.
 func (g *GLR) OnFrame(payload any, from int) {
 	switch f := payload.(type) {
-	case dataFrame:
+	case *dataFrame:
 		g.onData(f, from)
-	case ackFrame:
+	case *ackBox:
+		g.onAck(f.ackFrame, from)
+	case ackFrame: // white-box tests construct bare acks
 		g.onAck(f, from)
 	case tableFrame:
 		g.onTable(f)
@@ -168,8 +239,9 @@ func (g *GLR) maybeExchangeTable(peer int) {
 	g.n.Unicast(peer, sim.KindControl, tableFrame{Rows: rows}, bits, nil)
 }
 
-// onData handles an arriving message copy.
-func (g *GLR) onData(f dataFrame, from int) {
+// onData handles an arriving message copy. f is the sender's pooled
+// frame: everything kept past this call is copied out here.
+func (g *GLR) onData(f *dataFrame, from int) {
 	m := f.Msg // independent copy
 	m.Hops++
 
@@ -190,8 +262,9 @@ func (g *GLR) onData(f dataFrame, from int) {
 		if g.cfg.Custody {
 			g.sendAck(from, &m)
 		}
-		if !g.deliveredHere[m.ID] {
-			g.deliveredHere[m.ID] = true
+		st := g.ensureState(m.ID)
+		if !st.delivered {
+			st.delivered = true
 			g.n.ReportDelivered(&m)
 		}
 		return
@@ -202,8 +275,9 @@ func (g *GLR) onData(f dataFrame, from int) {
 		g.sendAck(from, &m)
 	}
 	if f.Face.Active {
-		st := f.Face
-		g.face[m.ID] = &st
+		st := g.ensureState(m.ID)
+		st.face = f.Face
+		st.hasFace = true
 	}
 	g.addToStore(&m)
 }
@@ -214,24 +288,28 @@ func (g *GLR) onAck(f ackFrame, from int) {
 	if f.DstKnown {
 		g.n.Locations().Update(f.Dst, f.DstLoc, f.DstLocTime)
 	}
-	remaining, ok := g.pendingAcks[f.ID]
-	if !ok {
+	st := g.state(f.ID)
+	if st == nil || !st.hasPending {
 		return
 	}
-	remaining &^= f.Flags
+	remaining := st.pending &^ f.Flags
 	if remaining != 0 {
-		g.pendingAcks[f.ID] = remaining
+		st.pending = remaining
 		return
 	}
-	delete(g.pendingAcks, f.ID)
+	st.pending = 0
+	st.hasPending = false
 	g.store.Ack(f.ID)
 	g.forget(f.ID)
 }
 
 // sendAck unicasts a custody/delivery acknowledgment for the received
-// copy, piggybacking our destination-location knowledge.
+// copy from a pooled box, piggybacking our destination-location
+// knowledge.
 func (g *GLR) sendAck(to int, m *dtn.Message) {
-	ack := ackFrame{
+	a := g.frames.takeAck()
+	a.owner = g
+	a.ackFrame = ackFrame{
 		ID:        m.ID,
 		Dst:       m.Dst,
 		Flags:     m.Flags,
@@ -240,21 +318,22 @@ func (g *GLR) sendAck(to int, m *dtn.Message) {
 	if m.Dst == g.n.ID() {
 		// We ARE the destination: our own position is the freshest
 		// possible estimate.
-		ack.DstLoc, ack.DstLocTime, ack.DstKnown = g.n.Pos(), g.n.Now(), true
+		a.DstLoc, a.DstLocTime, a.DstKnown = g.n.Pos(), g.n.Now(), true
 	} else if e, ok := g.n.Locations().Get(m.Dst); ok {
-		ack.DstLoc, ack.DstLocTime, ack.DstKnown = e.Pos, e.Time, true
+		a.DstLoc, a.DstLocTime, a.DstKnown = e.Pos, e.Time, true
 	}
-	g.n.Unicast(to, sim.KindAck, ack, g.cfg.AckBits, nil)
+	g.n.Unicast(to, sim.KindAck, a, g.cfg.AckBits, a.onDone)
 }
 
 // OnBeacon implements sim.Protocol. Node-level bookkeeping (neighbor and
-// location tables) already ran; routing reacts at the next route check
-// ("when ... new path emerges in the locally constructed trees, it will
-// send the stored messages"). The beacon also drives spanner-cache
-// invalidation: a directly heard position is the freshest possible, so
-// cache entries built from superseded coordinates become eviction
-// candidates. With the §2.3.1 extension enabled, meeting a peer also
-// triggers a full location-table exchange.
+// location tables, through the dense per-world views) already ran;
+// routing reacts at the next route check ("when ... new path emerges in
+// the locally constructed trees, it will send the stored messages"). The
+// beacon also drives spanner-cache invalidation: a directly heard
+// position is the freshest possible, so cache entries built from
+// superseded coordinates become eviction candidates. With the §2.3.1
+// extension enabled, meeting a peer also triggers a full location-table
+// exchange.
 func (g *GLR) OnBeacon(b sim.Beacon) {
 	g.maint.Observe(b.From, b.Pos)
 	g.maybeExchangeTable(b.From)

@@ -29,22 +29,24 @@ func TestOnAckPartialBranches(t *testing.T) {
 	m := &dtn.Message{ID: dtn.MessageID{Src: 0, Seq: 0}, Dst: 3, Flags: dtn.FlagMax | dtn.FlagMin}
 	g.store.Add(m)
 	g.store.MarkSent(m.ID, 0)
-	g.pendingAcks[m.ID] = dtn.FlagMax | dtn.FlagMin
+	st := g.ensureState(m.ID)
+	st.pending = dtn.FlagMax | dtn.FlagMin
+	st.hasPending = true
 
 	// Ack for just the Max branch: message stays cached awaiting Min.
 	g.onAck(ackFrame{ID: m.ID, Dst: 3, Flags: dtn.FlagMax, SenderPos: geom.Pt(0, 0)}, 1)
 	if g.store.CacheLen() != 1 {
 		t.Fatal("message must stay cached until every branch acks")
 	}
-	if g.pendingAcks[m.ID] != dtn.FlagMin {
-		t.Fatalf("pending = %v, want min", g.pendingAcks[m.ID])
+	if st.pending != dtn.FlagMin {
+		t.Fatalf("pending = %v, want min", st.pending)
 	}
 	// Ack for the remaining branch releases it.
 	g.onAck(ackFrame{ID: m.ID, Dst: 3, Flags: dtn.FlagMin, SenderPos: geom.Pt(0, 0)}, 2)
 	if g.store.Total() != 0 {
 		t.Fatal("fully-acked message must leave custody")
 	}
-	if _, ok := g.pendingAcks[m.ID]; ok {
+	if st := g.state(m.ID); st != nil && st.hasPending {
 		t.Fatal("pending-ack state must clear")
 	}
 }
@@ -63,13 +65,13 @@ func TestOnDataDeliversAndAcks(t *testing.T) {
 	g := instances[2]
 	w.Scheduler().Run(0.1)
 	msg := dtn.Message{ID: dtn.MessageID{Src: 0, Seq: 0}, Dst: 2, PayloadBits: 800}
-	g.onData(dataFrame{Msg: msg, SenderPos: geom.Pt(1, 1), SentAt: 0.05}, 0)
-	if !g.deliveredHere[msg.ID] {
+	g.onData(&dataFrame{Msg: msg, SenderPos: geom.Pt(1, 1), SentAt: 0.05}, 0)
+	if st := g.state(msg.ID); st == nil || !st.delivered {
 		t.Fatal("destination must record the delivery")
 	}
 	// A duplicate copy must not double-report: GLR suppresses it at the
 	// protocol level, so the collector records exactly one delivery.
-	g.onData(dataFrame{Msg: msg, SenderPos: geom.Pt(1, 1), SentAt: 0.06}, 1)
+	g.onData(&dataFrame{Msg: msg, SenderPos: geom.Pt(1, 1), SentAt: 0.06}, 1)
 	rep := w.Collector().Report()
 	if rep.Delivered != 1 {
 		t.Errorf("delivered = %d, want 1", rep.Delivered)
@@ -87,7 +89,7 @@ func TestOnDataRelayStoresAndLearnsLocations(t *testing.T) {
 		ID: dtn.MessageID{Src: 0, Seq: 1}, Dst: 3, PayloadBits: 800,
 		DstLoc: geom.Pt(42, 7), DstLocTime: 0.04, DstLocKnown: true,
 	}
-	g.onData(dataFrame{Msg: msg, SenderPos: geom.Pt(9, 9), SentAt: 0.05}, 0)
+	g.onData(&dataFrame{Msg: msg, SenderPos: geom.Pt(9, 9), SentAt: 0.05}, 0)
 	if g.store.Total() != 1 {
 		t.Fatal("relay must store the copy")
 	}
@@ -108,7 +110,9 @@ func TestOnSendFailedReturnsBranchToStore(t *testing.T) {
 	m := &dtn.Message{ID: dtn.MessageID{Src: 0, Seq: 2}, Dst: 3, Flags: dtn.FlagMax | dtn.FlagMin}
 	g.store.Add(m)
 	g.store.MarkSent(m.ID, 0)
-	g.pendingAcks[m.ID] = dtn.FlagMax | dtn.FlagMin
+	st := g.ensureState(m.ID)
+	st.pending = dtn.FlagMax | dtn.FlagMin
+	st.hasPending = true
 
 	g.onSendFailed(m.ID, dtn.FlagMin)
 	if g.store.StoreLen() != 1 {
@@ -117,8 +121,8 @@ func TestOnSendFailedReturnsBranchToStore(t *testing.T) {
 	if got := g.store.Get(m.ID).Flags; got != dtn.FlagMin {
 		t.Errorf("returned flags = %v, want min only", got)
 	}
-	if g.pendingAcks[m.ID] != dtn.FlagMax {
-		t.Errorf("pending = %v, want max", g.pendingAcks[m.ID])
+	if st.pending != dtn.FlagMax {
+		t.Errorf("pending = %v, want max", st.pending)
 	}
 	// The other branch fails too: flags merge on the stored copy.
 	g.onSendFailed(m.ID, dtn.FlagMax)

@@ -2,9 +2,12 @@
 // that is the paper's contribution (§2). Per node it maintains:
 //
 //   - a custody Store/Cache pair (§2.3.2) holding message copies;
-//   - per-message pending-ack flag sets (acks identify the tree branch);
-//   - face-routing state per message copy (§2.3, local-minimum escape);
-//   - stale-location stuck timers (§3.3 remedy).
+//   - one consolidated msgState record per message, carrying the
+//     pending-ack flag set (acks identify the tree branch), the
+//     face-routing state (§2.3, local-minimum escape), the
+//     stale-location stuck timer (§3.3 remedy), and the face-failure
+//     backoff — with a single cleanup path (forget) so per-message state
+//     cannot half-leak.
 //
 // The routing loop (Algorithm 2) runs every checkinterval: construct the
 // LDTG from 2-hop beacon knowledge, pick MaxDSTD/MinDSTD/MidDSTD next hops
@@ -180,6 +183,44 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// msgState consolidates every piece of per-message auxiliary state a
+// node keeps besides the stored copy itself. One record per message
+// replaces the six parallel maps an earlier revision kept, so cleanup
+// is a single delete (forget) that cannot half-leak.
+type msgState struct {
+	// pending tracks the tree-branch flags that were sent and not yet
+	// acknowledged ("this notification contains ... the extracted tree
+	// branch information"). hasPending distinguishes "no entry" from a
+	// fully-acked zero value.
+	pending    dtn.TreeFlags
+	hasPending bool
+	// face carries face-routing state while the copy is stored here.
+	face    ldt.FaceState
+	hasFace bool
+	// stuckSince records when the stored message last failed to make
+	// any progress, for the §3.3 stale-location remedy.
+	stuckSince float64
+	hasStuck   bool
+	// failTopo remembers the neighborhood signature at the moment a face
+	// walk failed; the walk is not retried until the local topology
+	// changes (otherwise every check re-traverses the same dead loop).
+	failTopo    uint64
+	hasFailTopo bool
+	// failAt rate-limits face-walk retries after failure.
+	failAt    float64
+	hasFailAt bool
+	// delivered dedupes arrivals when this node is the destination. It
+	// survives forget: a later duplicate copy must still be recognized.
+	delivered bool
+}
+
+// hopTarget is one forwarding decision: the tree flags the copy sent to
+// dst carries.
+type hopTarget struct {
+	dst   int
+	flags dtn.TreeFlags
+}
+
 // GLR is one node's protocol instance.
 type GLR struct {
 	cfg Config
@@ -191,30 +232,39 @@ type GLR struct {
 	// node's cache hit. Invalidation rides the beacon path (OnBeacon →
 	// Observe).
 	maint *ldt.Maintainer
+	// frames pools dataFrame payload boxes across all nodes of the
+	// world (shared via the factory, like maint).
+	frames *framePool
 
 	store *dtn.CustodyStore
-	// pendingAcks tracks, per cached message, the tree-branch flags that
-	// were sent and not yet acknowledged ("this notification contains
-	// ... the extracted tree branch information").
-	pendingAcks map[dtn.MessageID]dtn.TreeFlags
-	// face carries per-message face-routing state while the copy is
-	// stored here.
-	face map[dtn.MessageID]*ldt.FaceState
-	// stuckSince records when a stored message last failed to make any
-	// progress, for the §3.3 stale-location remedy.
-	stuckSince map[dtn.MessageID]float64
-	// faceFailTopo remembers the neighborhood signature at the moment a
-	// face walk failed; the walk is not retried until the local topology
-	// changes (otherwise every check re-traverses the same dead loop).
-	faceFailTopo map[dtn.MessageID]uint64
-	// faceFailAt rate-limits face-walk retries after failure.
-	faceFailAt map[dtn.MessageID]float64
-	// deliveredHere dedupes arrivals when this node is the destination.
-	deliveredHere map[dtn.MessageID]bool
+	// msgs holds the consolidated per-message state; see msgState.
+	msgs map[dtn.MessageID]*msgState
 	// lastTableSync rate-limits §2.3.1 full table exchanges per peer.
 	lastTableSync map[int]float64
 
+	// Scratch buffers reused across route checks so the routing loop
+	// stops materializing intermediate slices and maps per tick.
+	thIDs   []int          // 2-hop ids (dense-table AppendTwoHop output)
+	thPts   []geom.Point   // 2-hop positions, parallel to thIDs
+	stored  []*dtn.Message // per-check snapshot of the Store
+	closer  []cand         // progress candidates for the message being routed
+	targets []hopTarget    // per-tree forwarding picks, sorted by dst
+	checkFn func()         // routeCheck bound once (rescheduling a method value would allocate)
+
 	stats Stats
+}
+
+// state returns the per-message record, or nil.
+func (g *GLR) state(id dtn.MessageID) *msgState { return g.msgs[id] }
+
+// ensureState returns the per-message record, creating it if absent.
+func (g *GLR) ensureState(id dtn.MessageID) *msgState {
+	st := g.msgs[id]
+	if st == nil {
+		st = &msgState{}
+		g.msgs[id] = st
+	}
+	return st
 }
 
 // Stats counts forwarding decisions, exposed for ablation benchmarks and
@@ -239,24 +289,22 @@ func New(cfg Config) (sim.ProtocolFactory, error) {
 
 // NewInstrumented is New plus access to the world's shared spanner
 // cache, for experiments that report construction cost and hit rates.
-// Every node built by the returned factory shares the one Maintainer.
+// Every node built by the returned factory shares the one Maintainer
+// (and one dataFrame pool).
 func NewInstrumented(cfg Config) (sim.ProtocolFactory, *ldt.Maintainer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, nil, err
 	}
 	maint := ldt.NewMaintainer(cfg.DisableSpannerCache)
+	frames := &framePool{}
 	return func(n *sim.Node) sim.Protocol {
 		return &GLR{
 			cfg:           cfg,
 			n:             n,
 			maint:         maint,
+			frames:        frames,
 			store:         dtn.NewCustodyStore(n.StorageLimit()),
-			pendingAcks:   make(map[dtn.MessageID]dtn.TreeFlags),
-			face:          make(map[dtn.MessageID]*ldt.FaceState),
-			stuckSince:    make(map[dtn.MessageID]float64),
-			faceFailTopo:  make(map[dtn.MessageID]uint64),
-			faceFailAt:    make(map[dtn.MessageID]float64),
-			deliveredHere: make(map[dtn.MessageID]bool),
+			msgs:          make(map[dtn.MessageID]*msgState),
 			lastTableSync: make(map[int]float64),
 		}
 	}, maint, nil
@@ -265,8 +313,9 @@ func NewInstrumented(cfg Config) (sim.ProtocolFactory, *ldt.Maintainer, error) {
 // Init implements sim.Protocol: start the periodic route check with a
 // random phase so nodes do not check in lockstep.
 func (g *GLR) Init(n *sim.Node) {
+	g.checkFn = g.routeCheck
 	phase := n.Rand().Float64() * g.cfg.CheckInterval
-	n.After(phase, g.routeCheck)
+	n.After(phase, g.checkFn)
 }
 
 // StorageUsed implements sim.Protocol: Store + Cache occupancy.
@@ -324,11 +373,17 @@ func (g *GLR) addToStore(m *dtn.Message) {
 	}
 }
 
-// forget clears auxiliary per-message state.
+// forget clears auxiliary per-message state — the single cleanup path
+// for msgState. Only the delivery-dedup bit survives: a duplicate copy
+// arriving after cleanup must still be recognized as already delivered.
 func (g *GLR) forget(id dtn.MessageID) {
-	delete(g.pendingAcks, id)
-	delete(g.face, id)
-	delete(g.stuckSince, id)
-	delete(g.faceFailTopo, id)
-	delete(g.faceFailAt, id)
+	st, ok := g.msgs[id]
+	if !ok {
+		return
+	}
+	if st.delivered {
+		*st = msgState{delivered: true}
+		return
+	}
+	delete(g.msgs, id)
 }

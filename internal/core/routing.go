@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"glr/internal/dtn"
 	"glr/internal/geom"
 	"glr/internal/ldt"
@@ -18,20 +16,24 @@ func (g *GLR) routeCheck() {
 	// "for another round of transfer rescheduling".
 	for _, m := range g.store.ExpireCache(now - g.cfg.CacheTimeout) {
 		g.stats.CustodyReturns++
-		if remaining, ok := g.pendingAcks[m.ID]; ok && remaining != 0 {
-			m.Flags = remaining
+		if st := g.state(m.ID); st != nil {
+			if st.hasPending && st.pending != 0 {
+				m.Flags = st.pending
+			}
+			st.pending = 0
+			st.hasPending = false
 		}
-		delete(g.pendingAcks, m.ID)
 	}
 
 	if g.store.StoreLen() > 0 {
 		view, nbrIDs, nbrPts := g.localSpanner()
-		for _, m := range g.store.StoredMessages() {
+		g.stored = g.store.AppendStored(g.stored[:0])
+		for _, m := range g.stored {
 			g.routeMessage(m, view, nbrIDs, nbrPts)
 		}
 	}
 
-	g.n.After(g.cfg.CheckInterval, g.routeCheck)
+	g.n.After(g.cfg.CheckInterval, g.checkFn)
 }
 
 // localSpanner constructs this node's current routing-graph incident
@@ -39,10 +41,12 @@ func (g *GLR) routeCheck() {
 // raw UDG under ablation), through the world's shared spanner cache —
 // or from scratch when Config.DisableSpannerCache is set. It returns the
 // view plus parallel id/position slices of the accepted neighbors
-// (global ids).
+// (global ids). The 2-hop point set is assembled in per-instance scratch
+// buffers (the dense neighbor table appends without allocating); the
+// Maintainer copies what it caches, so reuse across checks is safe.
 func (g *GLR) localSpanner() (*ldt.LocalView, []int, []geom.Point) {
-	ids, pts := g.n.Neighbors().TwoHopPoints(g.n.ID(), g.n.Pos())
-	view, err := ldt.NewLocalView(g.n.ID(), ids, pts, g.n.Range())
+	g.thIDs, g.thPts = g.n.Neighbors().AppendTwoHop(g.thIDs[:0], g.thPts[:0], g.n.ID(), g.n.Pos())
+	view, err := ldt.NewLocalView(g.n.ID(), g.thIDs, g.thPts, g.n.Range())
 	if err != nil {
 		return nil, nil, nil
 	}
@@ -79,6 +83,31 @@ func (g *GLR) refreshDstLoc(m *dtn.Message) {
 	}
 }
 
+// cand is one forwarding candidate: an accepted spanner neighbor closer
+// to the destination estimate than we are.
+type cand struct {
+	id  int
+	pos geom.Point
+	d2  float64
+}
+
+// addTarget merges flags into the (sorted, ≤5-entry) scratch target list.
+func (g *GLR) addTarget(dst int, flags dtn.TreeFlags) {
+	for i := range g.targets {
+		if g.targets[i].dst == dst {
+			g.targets[i].flags |= flags
+			return
+		}
+		if g.targets[i].dst > dst {
+			g.targets = append(g.targets, hopTarget{})
+			copy(g.targets[i+1:], g.targets[i:])
+			g.targets[i] = hopTarget{dst: dst, flags: flags}
+			return
+		}
+	}
+	g.targets = append(g.targets, hopTarget{dst: dst, flags: flags})
+}
+
 // routeMessage attempts to forward one stored message (the per-message
 // body of Algorithm 2).
 func (g *GLR) routeMessage(m *dtn.Message, view *ldt.LocalView, nbrIDs []int, nbrPts []geom.Point) {
@@ -88,7 +117,8 @@ func (g *GLR) routeMessage(m *dtn.Message, view *ldt.LocalView, nbrIDs []int, nb
 	// Direct delivery: the destination is an audible neighbor.
 	if nb, ok := g.n.Neighbors().Get(m.Dst); ok && nb.Pos.Dist(g.n.Pos()) <= g.n.Range() {
 		g.stats.DirectForwards++
-		g.forward(m, map[int]dtn.TreeFlags{m.Dst: m.Flags})
+		g.targets = append(g.targets[:0], hopTarget{dst: m.Dst, flags: m.Flags})
+		g.forward(m, g.targets)
 		return
 	}
 	if view == nil || len(nbrIDs) == 0 {
@@ -101,12 +131,7 @@ func (g *GLR) routeMessage(m *dtn.Message, view *ldt.LocalView, nbrIDs []int, nb
 	// there are neighbors closer to destination"), with a small progress
 	// margin so pairs of nodes jostling past each other do not swap
 	// custody every check.
-	type cand struct {
-		id  int
-		pos geom.Point
-		d2  float64
-	}
-	var closer []cand
+	closer := g.closer[:0]
 	selfD := selfPos.Dist(m.DstLoc)
 	needD := selfD - g.cfg.ProgressHysteresis*g.n.Range()
 	needD2 := needD * needD
@@ -118,6 +143,7 @@ func (g *GLR) routeMessage(m *dtn.Message, view *ldt.LocalView, nbrIDs []int, nb
 			closer = append(closer, cand{id: id, pos: nbrPts[i], d2: d2})
 		}
 	}
+	g.closer = closer
 
 	if len(closer) == 0 {
 		if g.cfg.DisableFaceRouting {
@@ -127,7 +153,19 @@ func (g *GLR) routeMessage(m *dtn.Message, view *ldt.LocalView, nbrIDs []int, nb
 		g.tryFaceRoute(m, nbrIDs, nbrPts, now)
 		return
 	}
-	sort.Slice(closer, func(i, j int) bool { return closer[i].d2 < closer[j].d2 })
+	// Insertion sort by progress: candidate sets are small (spanner
+	// degree), the input order (spanner output) is deterministic, and
+	// sort.Slice's closure + reflection swapper would allocate twice per
+	// routed message.
+	for i := 1; i < len(closer); i++ {
+		c := closer[i]
+		j := i - 1
+		for j >= 0 && closer[j].d2 > c.d2 {
+			closer[j+1] = closer[j]
+			j--
+		}
+		closer[j+1] = c
+	}
 
 	// Tree extraction (§2.3): Max = maximum progress (closest to the
 	// destination), Min = least positive progress, Mid = median, with
@@ -147,19 +185,22 @@ func (g *GLR) routeMessage(m *dtn.Message, view *ldt.LocalView, nbrIDs []int, nb
 			return (3 * n) / 4
 		}
 	}
-	targets := make(map[int]dtn.TreeFlags)
+	g.targets = g.targets[:0]
 	for _, f := range dtn.AllTreeFlags(5) {
 		if !m.Flags.Has(f) {
 			continue
 		}
 		c := closer[pick(f)]
-		targets[c.id] |= f
+		g.addTarget(c.id, f)
 	}
-	delete(g.stuckSince, m.ID)
-	delete(g.face, m.ID)
-	delete(g.faceFailTopo, m.ID)
+	if st := g.state(m.ID); st != nil {
+		st.hasStuck = false
+		st.hasFace = false
+		st.face = ldt.FaceState{}
+		st.hasFailTopo = false
+	}
 	g.stats.GreedyForwards++
-	g.forward(m, targets)
+	g.forward(m, g.targets)
 }
 
 // topoSignature hashes the current LDTG neighbor id set (FNV-1a), used to
@@ -190,43 +231,47 @@ func (g *GLR) tryFaceRoute(m *dtn.Message, nbrIDs []int, nbrPts []geom.Point, no
 		return
 	}
 	sig := topoSignature(nbrIDs)
-	if failedSig, failed := g.faceFailTopo[m.ID]; failed && failedSig == sig {
-		g.noteStuck(m, now)
-		return
+	if st := g.state(m.ID); st != nil {
+		if st.hasFailTopo && st.failTopo == sig {
+			g.noteStuck(m, now)
+			return
+		}
+		if st.hasFailAt && now-st.failAt < g.cfg.FaceRetryBackoff {
+			g.noteStuck(m, now)
+			return
+		}
 	}
-	if failedAt, failed := g.faceFailAt[m.ID]; failed && now-failedAt < g.cfg.FaceRetryBackoff {
-		g.noteStuck(m, now)
-		return
-	}
-	st := g.face[m.ID]
-	if st == nil {
-		st = &ldt.FaceState{}
-		g.face[m.ID] = st
-	}
-	next, dec := st.Step(g.n.ID(), g.n.Pos(), nbrIDs, nbrPts, m.DstLoc)
+	st := g.ensureState(m.ID)
+	st.hasFace = true
+	next, dec := st.face.Step(g.n.ID(), g.n.Pos(), nbrIDs, nbrPts, m.DstLoc)
 	switch dec {
 	case ldt.FaceForward:
 		g.stats.FaceForwards++
-		delete(g.faceFailTopo, m.ID)
-		g.forward(m, map[int]dtn.TreeFlags{nbrIDs[next]: m.Flags})
+		st.hasFailTopo = false
+		g.targets = append(g.targets[:0], hopTarget{dst: nbrIDs[next], flags: m.Flags})
+		g.forward(m, g.targets)
 	case ldt.FaceExitGreedy:
 		// We are closer than the face entry point; greedy will resume at
 		// the next check. Clear the face state and treat as waiting.
-		delete(g.face, m.ID)
+		st.hasFace = false
+		st.face = ldt.FaceState{}
 		g.noteStuck(m, now)
 	case ldt.FaceFail:
 		g.stats.FaceFailures++
-		delete(g.face, m.ID)
-		g.faceFailTopo[m.ID] = sig
-		g.faceFailAt[m.ID] = now
+		st.hasFace = false
+		st.face = ldt.FaceState{}
+		st.failTopo = sig
+		st.hasFailTopo = true
+		st.failAt = now
+		st.hasFailAt = true
 		g.noteStuck(m, now)
 	}
 }
 
 // faceActive reports whether a face walk is in progress for the message.
 func (g *GLR) faceActive(id dtn.MessageID) bool {
-	st, ok := g.face[id]
-	return ok && st != nil && st.Active
+	st := g.state(id)
+	return st != nil && st.hasFace && st.face.Active
 }
 
 // noteStuck starts (or checks) the stale-location stuck timer (§3.3).
@@ -238,12 +283,13 @@ func (g *GLR) faceActive(id dtn.MessageID) bool {
 // increase the delivery probability". A carrier merely far away from the
 // estimate keeps waiting: mobility, not relocation, is the cure there.
 func (g *GLR) noteStuck(m *dtn.Message, now float64) {
-	since, ok := g.stuckSince[m.ID]
-	if !ok {
-		g.stuckSince[m.ID] = now
+	st := g.ensureState(m.ID)
+	if !st.hasStuck {
+		st.stuckSince = now
+		st.hasStuck = true
 		return
 	}
-	if now-since < g.cfg.StaleRelocateAfter {
+	if now-st.stuckSince < g.cfg.StaleRelocateAfter {
 		return
 	}
 	if g.n.Pos().Dist(m.DstLoc) > g.n.Range() {
@@ -253,5 +299,5 @@ func (g *GLR) noteStuck(m *dtn.Message, now float64) {
 	m.DstLoc = g.n.Region().RandomPoint(g.n.Rand())
 	m.DstLocTime = now
 	m.DstLocKnown = false
-	g.stuckSince[m.ID] = now
+	st.stuckSince = now
 }

@@ -6,13 +6,19 @@ package des
 type Timer struct {
 	sched *Scheduler
 	fn    Handler
+	fire  Handler // persistent expiry handler (one alloc per timer)
 	id    EventID
 	armed bool
 }
 
 // NewTimer returns an unarmed timer that runs fn when it fires.
 func NewTimer(sched *Scheduler, fn Handler) *Timer {
-	return &Timer{sched: sched, fn: fn}
+	t := &Timer{sched: sched, fn: fn}
+	t.fire = func() {
+		t.armed = false
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire d seconds from now, canceling any
@@ -20,10 +26,7 @@ func NewTimer(sched *Scheduler, fn Handler) *Timer {
 func (t *Timer) Reset(d float64) {
 	t.Stop()
 	t.armed = true
-	t.id = t.sched.After(d, func() {
-		t.armed = false
-		t.fn()
-	})
+	t.id = t.sched.After(d, t.fire)
 }
 
 // Stop disarms the timer if armed. It reports whether a pending expiry was
@@ -46,6 +49,7 @@ func (t *Timer) Armed() bool { return t.armed }
 type Ticker struct {
 	sched    *Scheduler
 	fn       Handler
+	fire     Handler // persistent tick handler (one alloc per ticker)
 	interval float64
 	id       EventID
 	running  bool
@@ -58,7 +62,8 @@ func NewTicker(sched *Scheduler, interval, phase float64, fn Handler) *Ticker {
 		panic("des: ticker interval must be positive")
 	}
 	t := &Ticker{sched: sched, fn: fn, interval: interval, running: true}
-	t.id = sched.After(phase, t.tick)
+	t.fire = t.tick // bound once: rescheduling a method value per tick would allocate
+	t.id = sched.After(phase, t.fire)
 	return t
 }
 
@@ -68,7 +73,7 @@ func (t *Ticker) tick() {
 	}
 	t.fn()
 	if t.running { // fn may have stopped us
-		t.id = t.sched.After(t.interval, t.tick)
+		t.id = t.sched.After(t.interval, t.fire)
 	}
 }
 

@@ -9,7 +9,7 @@ type Buffer struct {
 	order    []MessageID // insertion order (oldest first)
 	byID     map[MessageID]*Message
 	version  uint64         // bumped on every new insertion
-	insLog   []insertRecord // insertion history for delta summaries
+	insLog   []insertRecord // insertion history for delta summaries; see compactLog
 }
 
 // insertRecord is one insertion-log entry: the buffer version right after
@@ -61,7 +61,40 @@ func (b *Buffer) Add(m *Message) (evicted *Message, stored bool) {
 	b.byID[m.ID] = m
 	b.version++
 	b.insLog = append(b.insLog, insertRecord{ver: b.version, id: m.ID})
+	b.compactLog()
 	return evicted, true
+}
+
+// compactLog bounds the insertion log, which would otherwise grow with
+// every insertion for the lifetime of the buffer. When the log exceeds
+// twice the held-message count it is rewritten to the latest record of
+// each still-held id, preserving record order.
+//
+// This keeps InsertedSince exact for every version any delta-summary
+// consumer can still request — including ver 0 from a peer never synced
+// with: an id appears in InsertedSince(v) iff it is held and its latest
+// insertion is newer than v, and records of evicted/removed ids decide
+// nothing. The only observable difference is ordering across
+// re-insertions (a re-inserted id sorts by its latest insertion instead
+// of its first), which consumers cannot see: delta advertisements
+// aggregate the ids into a SummaryVector set.
+func (b *Buffer) compactLog() {
+	if len(b.insLog) <= 64 || len(b.insLog) <= 2*len(b.byID) {
+		return
+	}
+	latest := make(map[MessageID]int, len(b.byID)) // id -> index of latest record
+	for i, rec := range b.insLog {
+		if b.Has(rec.id) {
+			latest[rec.id] = i
+		}
+	}
+	kept := b.insLog[:0]
+	for i, rec := range b.insLog {
+		if latest[rec.id] == i && b.Has(rec.id) {
+			kept = append(kept, rec)
+		}
+	}
+	b.insLog = kept
 }
 
 // Version returns a counter that increments on every new insertion.
@@ -69,7 +102,9 @@ func (b *Buffer) Add(m *Message) (evicted *Message, stored bool) {
 func (b *Buffer) Version() uint64 { return b.version }
 
 // InsertedSince returns the ids inserted after version ver that are still
-// held, oldest first — the delta an anti-entropy refresh advertises.
+// held — the delta an anti-entropy refresh advertises — ordered by their
+// surviving log record (insertion order; an id re-inserted after removal
+// may sort by its latest insertion once the log has been compacted).
 func (b *Buffer) InsertedSince(ver uint64) []MessageID {
 	// Binary search the log for the first record newer than ver.
 	lo, hi := 0, len(b.insLog)
@@ -128,11 +163,16 @@ func (b *Buffer) popOldest() *Message {
 // Messages returns the stored messages oldest-first. The slice is freshly
 // allocated; the *Message values are the live stored messages.
 func (b *Buffer) Messages() []*Message {
-	out := make([]*Message, 0, len(b.order))
+	return b.AppendMessages(make([]*Message, 0, len(b.order)))
+}
+
+// AppendMessages appends the stored messages oldest-first (pass buf[:0]
+// to reuse a scratch slice on hot paths).
+func (b *Buffer) AppendMessages(buf []*Message) []*Message {
 	for _, id := range b.order {
-		out = append(out, b.byID[id])
+		buf = append(buf, b.byID[id])
 	}
-	return out
+	return buf
 }
 
 // IDs returns the stored message ids oldest-first.

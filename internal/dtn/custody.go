@@ -89,6 +89,10 @@ func (c *CustodyStore) Add(m *Message) (dropped *Message, stored bool) {
 // eligible for a routing attempt).
 func (c *CustodyStore) StoredMessages() []*Message { return c.store.Messages() }
 
+// AppendStored appends the Store contents oldest-first into buf (pass
+// buf[:0] to reuse a scratch slice on hot paths).
+func (c *CustodyStore) AppendStored(buf []*Message) []*Message { return c.store.AppendMessages(buf) }
+
 // CachedMessages returns the Cache contents oldest-first.
 func (c *CustodyStore) CachedMessages() []*Message { return c.cache.Messages() }
 

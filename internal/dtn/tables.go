@@ -6,6 +6,23 @@ import (
 	"glr/internal/geom"
 )
 
+// The neighbor and location tables come in two storage backends sharing
+// one API:
+//
+//   - The map backend (NewLocationTable/NewNeighborTable) keys rows by
+//     node id in a Go map. It handles arbitrary sparse id spaces and is
+//     the reference implementation.
+//   - The dense backend (NewDenseLocationTable/NewDenseNeighborTable)
+//     stores rows in per-world id-indexed arrays with generation stamps:
+//     a row is live iff its stamp equals the table generation, so upsert
+//     and whole-table reset are O(1) and no hashing or per-row boxing
+//     happens on the beacon hot path. A sorted live-id list keeps
+//     iteration order identical to the map backend's sorted outputs.
+//
+// Both backends produce byte-identical results for identical operation
+// sequences (asserted by property tests in tables_dense_test.go); the
+// simulator picks the backend via sim.Scenario.DisableDenseTables.
+
 // LocationEntry is one row of a node's location table: where a node was
 // last known to be, and when that knowledge originated (§2.3.1: "Each node
 // keeps a table of other nodes' location information together with their
@@ -16,22 +33,103 @@ type LocationEntry struct {
 }
 
 // LocationTable maps node ids to their freshest known location. The zero
-// value is not usable; create with NewLocationTable.
+// value is not usable; create with NewLocationTable (map backend) or
+// NewDenseLocationTable (dense backend).
 type LocationTable struct {
-	entries map[int]LocationEntry
+	entries map[int]LocationEntry // map backend; nil in dense mode
+
+	// Dense backend: rows[id] is live iff rowGen[id] == gen; live holds
+	// the live ids in ascending order.
+	rows   []LocationEntry
+	rowGen []uint64
+	gen    uint64
+	live   []int
 }
 
-// NewLocationTable returns an empty table.
+// NewLocationTable returns an empty map-backed table.
 func NewLocationTable() *LocationTable {
 	return &LocationTable{entries: make(map[int]LocationEntry)}
 }
 
+// NewDenseLocationTable returns an empty dense table pre-sized for node
+// ids in [0, n). Ids beyond n still work (the arrays grow on demand).
+func NewDenseLocationTable(n int) *LocationTable {
+	return &LocationTable{
+		rows:   make([]LocationEntry, n),
+		rowGen: make([]uint64, n),
+		gen:    1,
+	}
+}
+
+// dense reports whether the table uses the dense backend.
+func (t *LocationTable) dense() bool { return t.entries == nil }
+
+// ensure grows the dense arrays to cover id.
+func (t *LocationTable) ensure(id int) {
+	for id >= len(t.rows) {
+		t.rows = append(t.rows, LocationEntry{})
+		t.rowGen = append(t.rowGen, 0)
+	}
+}
+
 // Len returns the number of known nodes.
-func (t *LocationTable) Len() int { return len(t.entries) }
+func (t *LocationTable) Len() int {
+	if t.dense() {
+		return len(t.live)
+	}
+	return len(t.entries)
+}
+
+// Reset empties the table in O(1) (dense backend) so pooled tables can
+// be reused without reallocation.
+func (t *LocationTable) Reset() {
+	if t.dense() {
+		t.gen++
+		t.live = t.live[:0]
+		return
+	}
+	clear(t.entries)
+}
+
+// insertSorted adds id to the sorted live list (id known to be absent).
+func insertSorted(live []int, id int) []int {
+	i := sort.SearchInts(live, id)
+	live = append(live, 0)
+	copy(live[i+1:], live[i:])
+	live[i] = id
+	return live
+}
+
+// removeSorted drops id from the sorted live list if present.
+func removeSorted(live []int, id int) []int {
+	i := sort.SearchInts(live, id)
+	if i < len(live) && live[i] == id {
+		copy(live[i:], live[i+1:])
+		live = live[:len(live)-1]
+	}
+	return live
+}
 
 // Update records pos for node id if the timestamp is fresher than the
 // current entry. It reports whether the table changed.
 func (t *LocationTable) Update(id int, pos geom.Point, time float64) bool {
+	if t.dense() {
+		if id < 0 {
+			return false
+		}
+		t.ensure(id)
+		if t.rowGen[id] == t.gen {
+			if time <= t.rows[id].Time {
+				return false
+			}
+			t.rows[id] = LocationEntry{Pos: pos, Time: time}
+			return true
+		}
+		t.rowGen[id] = t.gen
+		t.rows[id] = LocationEntry{Pos: pos, Time: time}
+		t.live = insertSorted(t.live, id)
+		return true
+	}
 	if cur, ok := t.entries[id]; ok && time <= cur.Time {
 		return false
 	}
@@ -41,6 +139,12 @@ func (t *LocationTable) Update(id int, pos geom.Point, time float64) bool {
 
 // Get returns the entry for id.
 func (t *LocationTable) Get(id int) (LocationEntry, bool) {
+	if t.dense() {
+		if id < 0 || id >= len(t.rows) || t.rowGen[id] != t.gen {
+			return LocationEntry{}, false
+		}
+		return t.rows[id], true
+	}
 	e, ok := t.entries[id]
 	return e, ok
 }
@@ -51,6 +155,14 @@ func (t *LocationTable) Get(id int) (LocationEntry, bool) {
 // lighter piggyback variant; Merge supports the full exchange).
 func (t *LocationTable) Merge(other *LocationTable) int {
 	n := 0
+	if other.dense() {
+		for _, id := range other.live {
+			if e := other.rows[id]; t.Update(id, e.Pos, e.Time) {
+				n++
+			}
+		}
+		return n
+	}
 	for id, e := range other.entries {
 		if t.Update(id, e.Pos, e.Time) {
 			n++
@@ -61,6 +173,9 @@ func (t *LocationTable) Merge(other *LocationTable) int {
 
 // IDs returns the known node ids in ascending order.
 func (t *LocationTable) IDs() []int {
+	if t.dense() {
+		return append([]int(nil), t.live...)
+	}
 	out := make([]int, 0, len(t.entries))
 	for id := range t.entries {
 		out = append(out, id)
@@ -88,55 +203,192 @@ type NeighborInfo struct {
 
 // NeighborTable tracks currently-audible neighbors with expiry, fed by
 // periodic beacons. The zero value is not usable; create with
-// NewNeighborTable.
+// NewNeighborTable (map backend) or NewDenseNeighborTable (dense
+// backend).
+//
+// The table owns the Neighbors storage of its rows: Observe copies the
+// advertised list into a row-owned backing array (reused across
+// refreshes of the same neighbor), so callers may pool and recycle the
+// beacon payload the info came from. Conversely, rows handed out by Get
+// and Snapshot alias that row-owned storage and must not be retained
+// across later Observe calls for the same id.
 type NeighborTable struct {
-	rows map[int]NeighborInfo
+	m map[int]NeighborInfo // map backend; nil in dense mode
+
+	// Dense backend: rows[id] is live iff rowGen[id] == gen; live holds
+	// the live ids ascending; expired is the scratch Expire returns.
+	rows    []NeighborInfo
+	rowGen  []uint64
+	gen     uint64
+	live    []int
+	expired []int
+
+	// mark/markGen implement allocation-free dedup for AppendTwoHop:
+	// id already emitted iff mark[id] == markGen.
+	mark    []uint64
+	markGen uint64
 }
 
-// NewNeighborTable returns an empty table.
+// NewNeighborTable returns an empty map-backed table.
 func NewNeighborTable() *NeighborTable {
-	return &NeighborTable{rows: make(map[int]NeighborInfo)}
+	return &NeighborTable{m: make(map[int]NeighborInfo)}
+}
+
+// NewDenseNeighborTable returns an empty dense table pre-sized for node
+// ids in [0, n). Ids beyond n still work (the arrays grow on demand).
+func NewDenseNeighborTable(n int) *NeighborTable {
+	return &NeighborTable{
+		rows:   make([]NeighborInfo, n),
+		rowGen: make([]uint64, n),
+		gen:    1,
+		mark:   make([]uint64, n),
+	}
+}
+
+// dense reports whether the table uses the dense backend.
+func (t *NeighborTable) dense() bool { return t.m == nil }
+
+// ensure grows the dense arrays to cover id.
+func (t *NeighborTable) ensure(id int) {
+	for id >= len(t.rows) {
+		t.rows = append(t.rows, NeighborInfo{})
+		t.rowGen = append(t.rowGen, 0)
+	}
 }
 
 // Len returns the number of live rows.
-func (t *NeighborTable) Len() int { return len(t.rows) }
-
-// Observe inserts or refreshes a neighbor row.
-func (t *NeighborTable) Observe(info NeighborInfo) {
-	t.rows[info.ID] = info
+func (t *NeighborTable) Len() int {
+	if t.dense() {
+		return len(t.live)
+	}
+	return len(t.m)
 }
 
-// Get returns the row for id.
+// Reset empties the table in O(1) (dense backend); row-owned Neighbors
+// backing arrays stay allocated for reuse.
+func (t *NeighborTable) Reset() {
+	if t.dense() {
+		t.gen++
+		t.live = t.live[:0]
+		return
+	}
+	clear(t.m)
+}
+
+// Observe inserts or refreshes a neighbor row. The advertised Neighbors
+// list is copied into row-owned storage; the caller keeps ownership of
+// info.Neighbors.
+func (t *NeighborTable) Observe(info NeighborInfo) {
+	if t.dense() {
+		id := info.ID
+		if id < 0 {
+			return
+		}
+		t.ensure(id)
+		row := &t.rows[id]
+		if t.rowGen[id] != t.gen {
+			t.rowGen[id] = t.gen
+			t.live = insertSorted(t.live, id)
+		}
+		nbrs := append(row.Neighbors[:0], info.Neighbors...)
+		*row = info
+		row.Neighbors = nbrs
+		return
+	}
+	old := t.m[info.ID]
+	info.Neighbors = append(old.Neighbors[:0], info.Neighbors...)
+	t.m[info.ID] = info
+}
+
+// Get returns the row for id. The row's Neighbors slice aliases table-
+// owned storage (see the type doc).
 func (t *NeighborTable) Get(id int) (NeighborInfo, bool) {
-	r, ok := t.rows[id]
+	if t.dense() {
+		if id < 0 || id >= len(t.rows) || t.rowGen[id] != t.gen {
+			return NeighborInfo{}, false
+		}
+		return t.rows[id], true
+	}
+	r, ok := t.m[id]
 	return r, ok
 }
 
 // Remove drops the row for id.
-func (t *NeighborTable) Remove(id int) { delete(t.rows, id) }
+func (t *NeighborTable) Remove(id int) {
+	if t.dense() {
+		if id < 0 || id >= len(t.rows) || t.rowGen[id] != t.gen {
+			return
+		}
+		t.rowGen[id] = 0
+		t.live = removeSorted(t.live, id)
+		return
+	}
+	delete(t.m, id)
+}
 
 // Expire drops every row last seen at or before deadline and returns the
-// expired ids in ascending order.
+// expired ids in ascending order. The returned slice is scratch reused
+// by the next Expire call (dense backend); callers must not retain it.
 func (t *NeighborTable) Expire(deadline float64) []int {
+	if t.dense() {
+		t.expired = t.expired[:0]
+		keep := t.live[:0]
+		for _, id := range t.live {
+			if t.rows[id].LastSeen <= deadline {
+				t.rowGen[id] = 0
+				t.expired = append(t.expired, id)
+			} else {
+				keep = append(keep, id)
+			}
+		}
+		t.live = keep
+		return t.expired
+	}
 	var gone []int
-	for id, r := range t.rows {
+	for id, r := range t.m {
 		if r.LastSeen <= deadline {
 			gone = append(gone, id)
-			delete(t.rows, id)
+			delete(t.m, id)
 		}
 	}
 	sort.Ints(gone)
 	return gone
 }
 
-// Snapshot returns all live rows sorted by id.
+// Snapshot returns all live rows sorted by id. The slice is freshly
+// allocated; row Neighbors alias table-owned storage. Hot paths should
+// prefer AppendAdvertised/AppendTwoHop.
 func (t *NeighborTable) Snapshot() []NeighborInfo {
-	out := make([]NeighborInfo, 0, len(t.rows))
-	for _, r := range t.rows {
+	if t.dense() {
+		out := make([]NeighborInfo, 0, len(t.live))
+		for _, id := range t.live {
+			out = append(out, t.rows[id])
+		}
+		return out
+	}
+	out := make([]NeighborInfo, 0, len(t.m))
+	for _, r := range t.m {
 		out = append(out, r)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// AppendAdvertised appends the (id, position) pair of every live row in
+// ascending id order — the list a beacon advertises — and returns the
+// extended slice. With a caller-reused buffer the dense backend
+// allocates nothing.
+func (t *NeighborTable) AppendAdvertised(buf []NeighborNeighbor) []NeighborNeighbor {
+	if t.dense() {
+		for _, id := range t.live {
+			buf = append(buf, NeighborNeighbor{ID: id, Pos: t.rows[id].Pos})
+		}
+		return buf
+	}
+	for _, r := range t.Snapshot() {
+		buf = append(buf, NeighborNeighbor{ID: r.ID, Pos: r.Pos})
+	}
+	return buf
 }
 
 // TwoHopPoints assembles the distance-≤2 neighborhood point set around a
@@ -145,8 +397,39 @@ func (t *NeighborTable) Snapshot() []NeighborInfo {
 // returns parallel slices of ids and positions with the node itself first.
 // This is the input the GLR protocol triangulates.
 func (t *NeighborTable) TwoHopPoints(selfID int, selfPos geom.Point) (ids []int, pts []geom.Point) {
+	return t.AppendTwoHop(nil, nil, selfID, selfPos)
+}
+
+// AppendTwoHop is TwoHopPoints appending into caller-supplied slices
+// (pass buf[:0] to reuse); the dense backend dedups with generation-
+// stamped marks instead of a per-call map, so a warm call allocates
+// nothing. Output order is identical across backends: self first, then
+// rows in ascending id order, each followed by its unseen advertised
+// neighbors in advertisement order.
+func (t *NeighborTable) AppendTwoHop(ids []int, pts []geom.Point, selfID int, selfPos geom.Point) ([]int, []geom.Point) {
 	ids = append(ids, selfID)
 	pts = append(pts, selfPos)
+	if t.dense() {
+		t.markGen++
+		t.markSeen(selfID)
+		for _, id := range t.live {
+			r := &t.rows[id]
+			if !t.seen(id) {
+				t.markSeen(id)
+				ids = append(ids, id)
+				pts = append(pts, r.Pos)
+			}
+			for _, nn := range r.Neighbors {
+				if t.seen(nn.ID) {
+					continue
+				}
+				t.markSeen(nn.ID)
+				ids = append(ids, nn.ID)
+				pts = append(pts, nn.Pos)
+			}
+		}
+		return ids, pts
+	}
 	seen := map[int]struct{}{selfID: {}}
 	for _, r := range t.Snapshot() {
 		if _, dup := seen[r.ID]; !dup {
@@ -164,4 +447,21 @@ func (t *NeighborTable) TwoHopPoints(selfID int, selfPos geom.Point) (ids []int,
 		}
 	}
 	return ids, pts
+}
+
+// seen reports whether id was already emitted in the current AppendTwoHop
+// pass (dense backend).
+func (t *NeighborTable) seen(id int) bool {
+	return id >= 0 && id < len(t.mark) && t.mark[id] == t.markGen
+}
+
+// markSeen stamps id as emitted in the current AppendTwoHop pass.
+func (t *NeighborTable) markSeen(id int) {
+	if id < 0 {
+		return
+	}
+	for id >= len(t.mark) {
+		t.mark = append(t.mark, 0)
+	}
+	t.mark[id] = t.markGen
 }

@@ -89,3 +89,40 @@ func TestCustodyReturnToStore(t *testing.T) {
 		t.Error("nothing should remain cached")
 	}
 }
+
+// TestInsLogCompaction drives heavy insert/evict churn through a bounded
+// buffer and asserts (a) the insertion log stays bounded instead of
+// growing with total insertions, and (b) InsertedSince membership stays
+// exact for every version cut, including ver 0 from a never-synced peer.
+func TestInsLogCompaction(t *testing.T) {
+	b := NewBuffer(8)
+	versions := []uint64{0}
+	for i := 0; i < 5000; i++ {
+		b.Add(msg(i%40, i/40)) // id reuse across evictions
+		if i%13 == 0 {
+			b.Remove(MessageID{Src: i % 40, Seq: i / 40})
+		}
+		if i%97 == 0 {
+			versions = append(versions, b.Version())
+		}
+	}
+	if n := len(b.insLog); n > 64+2*b.Len()+1 {
+		t.Fatalf("insertion log grew to %d records for %d held messages", n, b.Len())
+	}
+	for _, v := range versions {
+		got := map[MessageID]bool{}
+		for _, id := range b.InsertedSince(v) {
+			if got[id] {
+				t.Fatalf("duplicate id %v in InsertedSince(%d)", id, v)
+			}
+			got[id] = true
+			if !b.Has(id) {
+				t.Fatalf("InsertedSince(%d) returned evicted id %v", v, id)
+			}
+		}
+	}
+	// Ver 0 must still advertise every held message.
+	if n := len(b.InsertedSince(0)); n != b.Len() {
+		t.Fatalf("InsertedSince(0) = %d ids, buffer holds %d", n, b.Len())
+	}
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,22 +23,29 @@ var NodeCountSizes = []int{100, 250, 500, 1000}
 // paperDensity is the paper's node density: 50 nodes in 1500 × 300 m.
 const paperDensity = 50.0 / (1500 * 300)
 
-// NodeCountPoint is one sweep point: the same scenario run with the
-// shared spanner cache (the default) and with the from-scratch reference
-// spanner path, with wall-clock and spanner-construction time measured
-// for each. Both runs use the grid-indexed medium (PR 1); the naive
-// medium keeps its own benchmarks in internal/mac.
+// NodeCountPoint is one sweep point: the same scenario run three ways —
+// the full fast path (dense tables + spanner cache), the from-scratch
+// spanner reference (core.Config.DisableSpannerCache), and the
+// map-backed table reference (sim.Scenario.DisableDenseTables) — with
+// wall-clock, spanner-construction time, and heap-allocation pressure
+// measured for each. All runs use the grid-indexed medium (PR 1); the
+// naive medium keeps its own benchmarks in internal/mac.
 type NodeCountPoint struct {
 	N               int
 	Region          mobility.Region
-	Delivery        stats.MeanCI  // cached runs
-	DeliveryScratch stats.MeanCI  // from-scratch runs
+	Delivery        stats.MeanCI  // fast-path runs
+	DeliveryScratch stats.MeanCI  // from-scratch spanner runs
 	WallCached      time.Duration // mean per run
 	WallScratch     time.Duration
+	WallMapTables   time.Duration
 	SpannerCached   time.Duration // mean spanner-construction time per run
 	SpannerScratch  time.Duration
-	TriHitRate      float64 // cached runs: witness-triangulation reuse
-	Identical       bool    // cached and from-scratch reports matched exactly
+	TriHitRate      float64 // fast-path runs: witness-triangulation reuse
+	AllocsDense     uint64  // mean heap allocations per fast-path run
+	AllocsMapTables uint64  // mean heap allocations per map-backed run
+	GCDense         uint32  // mean GC cycles per fast-path run
+	GCMapTables     uint32  // mean GC cycles per map-backed run
+	Identical       bool    // all three reports matched exactly at every seed
 }
 
 // SpannerSpeedup returns from-scratch spanner-construction time over
@@ -55,6 +63,16 @@ func (p NodeCountPoint) WallSpeedup() float64 {
 		return 0
 	}
 	return float64(p.WallScratch) / float64(p.WallCached)
+}
+
+// AllocReduction returns the fraction of heap allocations the dense
+// state plane removes relative to the map-backed reference (0.3 = 30%
+// fewer allocations).
+func (p NodeCountPoint) AllocReduction() float64 {
+	if p.AllocsMapTables == 0 {
+		return 0
+	}
+	return 1 - float64(p.AllocsDense)/float64(p.AllocsMapTables)
 }
 
 // NodeCountResult is the node-count scaling sweep artifact.
@@ -80,24 +98,35 @@ func nodeCountScenario(n, msgs int, seed int64) sim.Scenario {
 	return s
 }
 
-// executeInstrumented runs one GLR scenario with spanner instrumentation.
-func executeInstrumented(s sim.Scenario, cfg core.Config) (metrics.Report, ldt.SpannerStats, error) {
+// executeInstrumented runs one GLR scenario with spanner and allocation
+// instrumentation: the report, the shared-cache stats, and the heap
+// Mallocs / GC-cycle deltas across the run (runtime.ReadMemStats).
+func executeInstrumented(s sim.Scenario, cfg core.Config) (metrics.Report, ldt.SpannerStats, uint64, uint32, error) {
 	factory, maint, err := core.NewInstrumented(cfg)
 	if err != nil {
-		return metrics.Report{}, ldt.SpannerStats{}, err
+		return metrics.Report{}, ldt.SpannerStats{}, 0, 0, err
 	}
 	w, err := sim.NewWorld(s, factory)
 	if err != nil {
-		return metrics.Report{}, ldt.SpannerStats{}, err
+		return metrics.Report{}, ldt.SpannerStats{}, 0, 0, err
 	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	rep := w.Run()
-	return rep, maint.Stats(), nil
+	runtime.ReadMemStats(&after)
+	return rep, maint.Stats(), after.Mallocs - before.Mallocs, after.NumGC - before.NumGC, nil
 }
 
 // NodeCountSweep measures how the simulator scales with node count at
-// fixed density: delivery ratio, wall-clock, and spanner-construction
-// time per run for the cached spanner path vs the from-scratch reference
-// (core.Config.DisableSpannerCache). sizes nil means NodeCountSizes.
+// fixed density. Each seed runs the same scenario three ways:
+//
+//   - fast: dense tables + spanner cache (the default stack);
+//   - scratch: core.Config.DisableSpannerCache (from-scratch spanner);
+//   - map: sim.Scenario.DisableDenseTables (map-backed tables).
+//
+// It reports delivery, wall-clock, spanner-construction time fast vs
+// scratch, and heap-allocation pressure fast vs map — and asserts all
+// three reports are identical. sizes nil means NodeCountSizes.
 // Replications are run sequentially (never in parallel) so the
 // wall-clock comparison is not distorted by CPU contention; o.Runs is
 // capped at 3 — even when overridden via `glrexp -runs` — because the
@@ -121,33 +150,47 @@ func NodeCountSweep(o Options, sizes []int) (*NodeCountResult, error) {
 		cached := make([]float64, runs)
 		scratch := make([]float64, runs)
 		var hitStats ldt.SpannerStats
+		var allocsDense, allocsMap uint64
+		var gcDense, gcMap uint32
 		for r := 0; r < runs; r++ {
 			seed := o.BaseSeed + int64(r)
-			var reports [2]metrics.Report
-			for i, disable := range []bool{false, true} {
+			var reports [3]metrics.Report
+			for i, mode := range []string{"fast", "scratch", "map"} {
 				s := nodeCountScenario(n, msgs, seed)
 				point.Region = s.Region
 				cfg := core.DefaultConfig()
-				cfg.DisableSpannerCache = disable
+				switch mode {
+				case "scratch":
+					cfg.DisableSpannerCache = true
+				case "map":
+					s.DisableDenseTables = true
+				}
 				start := time.Now()
-				rep, st, err := executeInstrumented(s, cfg)
+				rep, st, mallocs, gc, err := executeInstrumented(s, cfg)
 				elapsed := time.Since(start)
 				if err != nil {
 					return nil, err
 				}
 				reports[i] = rep
-				if disable {
+				switch mode {
+				case "scratch":
 					scratch[r] = rep.DeliveryRatio
 					point.WallScratch += elapsed
 					point.SpannerScratch += st.BuildTime
-				} else {
+				case "map":
+					point.WallMapTables += elapsed
+					allocsMap += mallocs
+					gcMap += gc
+				default:
 					cached[r] = rep.DeliveryRatio
 					point.WallCached += elapsed
 					point.SpannerCached += st.BuildTime
 					hitStats.Add(st)
+					allocsDense += mallocs
+					gcDense += gc
 				}
 			}
-			if reports[0] != reports[1] {
+			if reports[0] != reports[1] || reports[0] != reports[2] {
 				point.Identical = false
 			}
 		}
@@ -155,16 +198,22 @@ func NodeCountSweep(o Options, sizes []int) (*NodeCountResult, error) {
 		point.DeliveryScratch = stats.ConfidenceInterval(scratch, o.Confidence)
 		point.WallCached /= time.Duration(runs)
 		point.WallScratch /= time.Duration(runs)
+		point.WallMapTables /= time.Duration(runs)
 		point.SpannerCached /= time.Duration(runs)
 		point.SpannerScratch /= time.Duration(runs)
 		point.TriHitRate = hitStats.TriHitRate()
+		point.AllocsDense = allocsDense / uint64(runs)
+		point.AllocsMapTables = allocsMap / uint64(runs)
+		point.GCDense = gcDense / uint32(runs)
+		point.GCMapTables = gcMap / uint32(runs)
 		res.Points = append(res.Points, point)
 		res.msgs = append(res.msgs, msgs)
-		o.progress("scale: n=%d -> delivery %.2f, spanner %v vs %v (%.1fx, hit %.0f%%), wall %v vs %v",
+		o.progress("scale: n=%d -> delivery %.2f, spanner %v vs %v (%.1fx, hit %.0f%%), wall %v vs %v, allocs %dM vs %dM (-%.0f%%)",
 			n, point.Delivery.Mean,
 			point.SpannerCached.Round(time.Millisecond), point.SpannerScratch.Round(time.Millisecond),
 			point.SpannerSpeedup(), 100*point.TriHitRate,
-			point.WallCached.Round(time.Millisecond), point.WallScratch.Round(time.Millisecond))
+			point.WallCached.Round(time.Millisecond), point.WallScratch.Round(time.Millisecond),
+			point.AllocsDense/1e6, point.AllocsMapTables/1e6, 100*point.AllocReduction())
 	}
 	return res, nil
 }
@@ -183,28 +232,33 @@ func (r *NodeCountResult) Render() string {
 			fmt.Sprintf("%d", r.msgs[i]),
 			fmt.Sprintf("%.2f±%.2f", p.Delivery.Mean, p.Delivery.HalfWidth),
 			p.SpannerCached.Round(time.Millisecond).String(),
-			p.SpannerScratch.Round(time.Millisecond).String(),
 			fmt.Sprintf("%.1fx", p.SpannerSpeedup()),
 			fmt.Sprintf("%.0f%%", 100*p.TriHitRate),
 			p.WallCached.Round(time.Millisecond).String(),
-			p.WallScratch.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.0fM", float64(p.AllocsDense)/1e6),
+			fmt.Sprintf("%.0fM", float64(p.AllocsMapTables)/1e6),
+			fmt.Sprintf("-%.0f%%", 100*p.AllocReduction()),
+			fmt.Sprintf("%d/%d", p.GCDense, p.GCMapTables),
 		}
 	}
 	var sb strings.Builder
 	sb.WriteString(asciiplot.Table{
 		Title:   fmt.Sprintf("Node-count scaling sweep (fixed density, GLR, %d run(s)/point)", r.Runs),
-		Headers: []string{"Nodes", "Region", "Msgs", "Delivery", "Spanner cached", "Spanner scratch", "Speedup", "Tri hits", "Wall cached", "Wall scratch"},
+		Headers: []string{"Nodes", "Region", "Msgs", "Delivery", "Spanner", "Spd-up", "Tri hits", "Wall", "Allocs", "Allocs(map)", "Δalloc", "GC d/m"},
 		Rows:    rows,
 	}.Render())
-	sb.WriteString("Spanner columns time the GLR routing loop's local-graph construction:\n" +
-		"\"cached\" goes through the shared ldt.Maintainer (mesh triangulator,\n" +
-		"witness-triangulation reuse across ticks and nodes), \"scratch\" rebuilds\n" +
-		"per check with the reference construction (DisableSpannerCache).\n")
+	sb.WriteString("Spanner columns time the GLR routing loop's local-graph construction\n" +
+		"through the shared ldt.Maintainer; \"Spd-up\" is the from-scratch reference\n" +
+		"(DisableSpannerCache) over it. Alloc columns count heap allocations per\n" +
+		"run (runtime.ReadMemStats Mallocs) on the dense slice-backed state plane\n" +
+		"vs the map-backed reference tables (DisableDenseTables); \"GC d/m\" is\n" +
+		"garbage-collection cycles dense/map.\n")
 	if allIdentical {
-		sb.WriteString("Both paths produced identical end-to-end reports at every point.\n")
+		sb.WriteString("All three paths produced identical end-to-end reports at every point.\n")
 	} else {
-		sb.WriteString("WARNING: cached and from-scratch runs disagreed at some point —\n" +
-			"this should never happen; see the equivalence tests in internal/core.\n")
+		sb.WriteString("WARNING: the fast, from-scratch-spanner, and map-table runs disagreed\n" +
+			"at some point — this should never happen; see the equivalence tests in\n" +
+			"internal/core.\n")
 	}
 	return sb.String()
 }
@@ -216,4 +270,13 @@ func (r *NodeCountResult) SpannerSpeedupAtLargestN() float64 {
 		return 0
 	}
 	return r.Points[len(r.Points)-1].SpannerSpeedup()
+}
+
+// AllocReductionAtLargestN returns the heap-allocation reduction of the
+// dense state plane at the biggest sweep point.
+func (r *NodeCountResult) AllocReductionAtLargestN() float64 {
+	if len(r.Points) == 0 {
+		return 0
+	}
+	return r.Points[len(r.Points)-1].AllocReduction()
 }

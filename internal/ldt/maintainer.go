@@ -3,7 +3,6 @@ package ldt
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"glr/internal/geom"
@@ -130,13 +129,15 @@ type Maintainer struct {
 	stats     SpannerStats
 
 	// scratch, reused across queries (see ldtgNeighbors)
-	order   []int
-	adj     [][]int
-	seen    []uint32
-	seenGen uint32
-	queue   []int
-	members []int
-	sub     []geom.Point
+	order    []int
+	adj      [][]int
+	seen     []uint32
+	seenGen  uint32
+	queue    []int
+	members  []int
+	sub      []geom.Point
+	wit      []*triEntry
+	accepted []int
 }
 
 // NewMaintainer returns an empty cache. disabled selects the from-scratch
@@ -185,6 +186,10 @@ func (m *Maintainer) Observe(id int, pos geom.Point) {
 // Neighbors returns the global ids and positions of the accepted spanner
 // neighbors of view's self node, per the requested variant (k applies to
 // the LDTG only). now is simulated time, used for cache retention.
+//
+// The returned slices are cache-owned: callers may read them until the
+// next Neighbors call on this Maintainer but must not modify or retain
+// them (the routing loop reads them within one route check).
 func (m *Maintainer) Neighbors(view *LocalView, variant Variant, k int, now float64) ([]int, []geom.Point, error) {
 	start := time.Now()
 	defer func() { m.stats.BuildTime += time.Since(start) }()
@@ -200,7 +205,7 @@ func (m *Maintainer) Neighbors(view *LocalView, variant Variant, k int, now floa
 		if e.matches(view, variant, k) {
 			e.lastHit = now
 			m.stats.ResultHits++
-			return append([]int(nil), e.accIDs...), append([]geom.Point(nil), e.accPts...), nil
+			return e.accIDs, e.accPts, nil
 		}
 	}
 
@@ -235,7 +240,7 @@ func (m *Maintainer) Neighbors(view *LocalView, variant Variant, k int, now floa
 		lastHit: now,
 	}
 	m.results[sig] = append(m.results[sig], e)
-	return append([]int(nil), accIDs...), append([]geom.Point(nil), accPts...), nil
+	return e.accIDs, e.accPts, nil
 }
 
 // fromScratch runs the legacy per-call construction (reference Delaunay,
@@ -279,7 +284,7 @@ func (m *Maintainer) ldtgNeighbors(view *LocalView, k int, now float64) ([]int, 
 
 	selfNbrs := m.adj[0] // ascending local indices
 	witnesses := len(selfNbrs) + 1
-	wit := make([]*triEntry, 0, witnesses)
+	wit := m.wit[:0]
 	for i := 0; i < witnesses; i++ {
 		w := 0
 		if i > 0 {
@@ -287,14 +292,16 @@ func (m *Maintainer) ldtgNeighbors(view *LocalView, k int, now float64) ([]int, 
 		}
 		e, err := m.triangulation(view, m.khop(w, k), now)
 		if err != nil {
+			m.wit = wit
 			return nil, err
 		}
 		wit = append(wit, e)
 	}
+	m.wit = wit
 
 	selfID := view.IDs[0]
 	self := wit[0]
-	var accepted []int
+	accepted := m.accepted[:0]
 	for _, nb := range selfNbrs {
 		nbID := view.IDs[nb]
 		if !self.hasEdge(selfID, nbID) {
@@ -317,6 +324,7 @@ func (m *Maintainer) ldtgNeighbors(view *LocalView, k int, now float64) ([]int, 
 			accepted = append(accepted, nb)
 		}
 	}
+	m.accepted = accepted
 	return accepted, nil
 }
 
@@ -374,10 +382,22 @@ func (m *Maintainer) khop(w, k int) []int {
 // given view members (local indices), from the cache when an entry with
 // the same (id, position) set exists.
 func (m *Maintainer) triangulation(view *LocalView, members []int, now float64) (*triEntry, error) {
-	// Normalize: members sorted by global id.
-	m.order = m.order[:0]
-	m.order = append(m.order, members...)
-	sort.Slice(m.order, func(i, j int) bool { return view.IDs[m.order[i]] < view.IDs[m.order[j]] })
+	// Normalize: members sorted by global id. Insertion sort instead of
+	// sort.Slice: witness neighborhoods are small (tens of members),
+	// global ids are unique (ties impossible), and the closure +
+	// reflection swapper of sort.Slice would allocate on every
+	// triangulation lookup — the routing loop's hottest call.
+	m.order = append(m.order[:0], members...)
+	for i := 1; i < len(m.order); i++ {
+		li := m.order[i]
+		key := view.IDs[li]
+		j := i - 1
+		for j >= 0 && view.IDs[m.order[j]] > key {
+			m.order[j+1] = m.order[j]
+			j--
+		}
+		m.order[j+1] = li
+	}
 
 	sig := sigMembers(view, m.order)
 	for _, e := range m.tris[sig] {

@@ -164,23 +164,28 @@ type Medium struct {
 	txIdx       *spatial.Grid
 	txByHandle  []*transmission
 	freeHandles []int
-	scratch     []int           // reusable candidate-id buffer
-	txCand      []*transmission // interferer candidates for the airing being resolved
+	scratch     []int           // receiver-candidate ids for the batch being resolved
+	csScratch   []int           // carrier-sense / interferer-gather handle buffer
+	txCand      []*transmission // interferer candidates shared by the batch being resolved
+	candEpoch   uint64          // dedup stamp for txCand gathering
+	batch       []*transmission // airings ending at the tick being resolved
 	txFree      []*transmission // recycled transmission objects
 }
 
 // takeTx returns a recycled (or fresh) transmission object. Recycling is
 // safe because every reference to a transmission — the active FIFO, the
-// spatial handles, and txCand — is dropped by the time pruneActive
+// spatial handles, batch, and txCand — is dropped by the time pruneActive
 // releases it; radios keep only value copies of their own airings.
 func (m *Medium) takeTx() *transmission {
 	if n := len(m.txFree); n > 0 {
 		t := m.txFree[n-1]
 		m.txFree = m.txFree[:n-1]
+		t.resolved = false
+		t.candMark = 0
 		return t
 	}
 	t := &transmission{}
-	t.onEnd = func() { t.from.endTransmission(t) }
+	t.onEnd = func() { t.from.medium.resolveEnds(t) }
 	return t
 }
 
@@ -229,6 +234,10 @@ func (m *Medium) AddRadio(id int, pos func() geom.Point, onRecv ReceiveFunc, onS
 		onSent: onSent,
 		cw:     m.cfg.CWMin,
 	}
+	r.attemptFn = func() {
+		r.attemptArmed = false
+		r.tryTransmit()
+	}
 	m.radios = append(m.radios, r)
 	if m.radioIdx != nil {
 		if err := m.radioIdx.Insert(id, pos()); err != nil {
@@ -265,6 +274,8 @@ type transmission struct {
 	hasRx      bool
 	h0, h1     int // spatial-index handles for pos / rxPos (h1 = -1 if none)
 	onEnd      des.Handler
+	resolved   bool   // receptions resolved (by its own or a batch-mate's end event)
+	candMark   uint64 // dedup stamp against Medium.candEpoch during gathering
 }
 
 // airing is a value copy of a transmission's interval, retained on the
@@ -283,6 +294,19 @@ func (m *Medium) frameAirtime(f *Frame) float64 {
 	return float64(m.cfg.HeaderBits+f.Bits) / m.cfg.BitRate
 }
 
+// occupies reports whether airing t keeps the channel busy at p now, per
+// physical carrier sense around the sender and (when enabled) virtual
+// carrier sense around the unicast receiver — the RTS/CTS NAV only
+// reaches nodes that can decode the receiver's CTS, i.e. within
+// reception range of it.
+func (m *Medium) occupies(t *transmission, p geom.Point, now des.Time, cs2, range2 float64) bool {
+	if t.end <= now {
+		return false
+	}
+	return t.pos.Dist2(p) <= cs2 ||
+		(m.cfg.VirtualCS && t.hasRx && t.rxPos.Dist2(p) <= range2)
+}
+
 // busyFor reports whether the channel is sensed busy at p now, and if so,
 // the latest end time among the occupying transmissions.
 func (m *Medium) busyFor(p geom.Point) (bool, des.Time) {
@@ -295,25 +319,14 @@ func (m *Medium) busyFor(p geom.Point) (bool, des.Time) {
 	range2 := m.cfg.Range * m.cfg.Range
 	busy := false
 	var until des.Time
-	// Physical carrier sense around the sender; virtual carrier sense
-	// (the RTS/CTS NAV) only reaches nodes that can decode the
-	// receiver's CTS, i.e. within reception range of it.
-	consider := func(t *transmission) {
-		if t.end <= now {
-			return
-		}
-		occupies := t.pos.Dist2(p) <= cs2 ||
-			(m.cfg.VirtualCS && t.hasRx && t.rxPos.Dist2(p) <= range2)
-		if occupies {
-			busy = true
-			if t.end > until {
-				until = t.end
-			}
-		}
-	}
 	if m.txIdx == nil {
 		for _, t := range m.active[m.head:] {
-			consider(t)
+			if m.occupies(t, p, now, cs2, range2) {
+				busy = true
+				if t.end > until {
+					until = t.end
+				}
+			}
 		}
 		return busy, until
 	}
@@ -322,11 +335,18 @@ func (m *Medium) busyFor(p geom.Point) (bool, des.Time) {
 	// receiver anchor within Range ≤ cs. Anchors are positions frozen
 	// at the start of the airing, so no movement slack is needed. A
 	// unicast airing indexed under both anchors may be visited twice;
-	// consider is idempotent.
-	m.txIdx.Near(p, cs, func(h int, _ geom.Point) bool {
-		consider(m.txByHandle[h])
-		return true
-	})
+	// the predicate is idempotent. The handle buffer is separate from
+	// the batch's receiver scratch because carrier sensing runs inside
+	// reception callbacks (receiver reacts by queueing a frame).
+	m.csScratch = m.txIdx.NearIDs(p, cs, m.csScratch[:0])
+	for _, h := range m.csScratch {
+		if t := m.txByHandle[h]; m.occupies(t, p, now, cs2, range2) {
+			busy = true
+			if t.end > until {
+				until = t.end
+			}
+		}
+	}
 	return busy, until
 }
 
@@ -420,37 +440,41 @@ func (m *Medium) pruneActive() {
 	}
 }
 
+// txCorrupts reports whether airing u destroys reception of t at
+// position p (receiver id rid). The capture effect lets a much stronger
+// wanted signal survive: with two-ray path loss, power ratio ≈
+// (d_interferer/d_sender)⁴.
+func (m *Medium) txCorrupts(u, t *transmission, rid int, p geom.Point, ir2, dWanted2 float64) bool {
+	if u == t || !t.overlaps(u) {
+		return false
+	}
+	if u.from.id == rid {
+		return true // half-duplex: was transmitting during t
+	}
+	dInt2 := u.pos.Dist2(p)
+	if dInt2 > ir2 {
+		return false // interferer too far to matter
+	}
+	if m.cfg.CaptureRatio > 0 && dWanted2 > 0 {
+		ratio2 := dInt2 / dWanted2
+		if ratio2*ratio2 >= m.cfg.CaptureRatio {
+			return false // captured: wanted signal dominates
+		}
+	}
+	return true
+}
+
 // corruptedAt reports whether reception of t at position p (receiver id
 // rid) is destroyed by an overlapping transmission from another sender
 // within interference range, or by the receiver transmitting itself
-// (half-duplex). The capture effect lets a much stronger wanted signal
-// survive: with two-ray path loss, power ratio ≈ (d_interferer/d_sender)⁴.
+// (half-duplex).
 func (m *Medium) corruptedAt(t *transmission, rid int, p geom.Point) bool {
 	ir := m.cfg.Range * m.cfg.CSRangeFactor
 	ir2 := ir * ir
 	dWanted2 := t.pos.Dist2(p)
-	corrupts := func(u *transmission) bool {
-		if u == t || !t.overlaps(u) {
-			return false
-		}
-		if u.from.id == rid {
-			return true // half-duplex: was transmitting during t
-		}
-		dInt2 := u.pos.Dist2(p)
-		if dInt2 > ir2 {
-			return false // interferer too far to matter
-		}
-		if m.cfg.CaptureRatio > 0 && dWanted2 > 0 {
-			ratio2 := dInt2 / dWanted2
-			if ratio2*ratio2 >= m.cfg.CaptureRatio {
-				return false // captured: wanted signal dominates
-			}
-		}
-		return true
-	}
 	if m.txIdx == nil {
 		for _, u := range m.active[m.head:] {
-			if corrupts(u) {
+			if m.txCorrupts(u, t, rid, p, ir2, dWanted2) {
 				return true
 			}
 		}
@@ -466,42 +490,76 @@ func (m *Medium) corruptedAt(t *transmission, rid int, p geom.Point) bool {
 			return true
 		}
 	}
-	// txCand was gathered once for this airing by gatherInterferers; it
-	// is a superset of every transmission within interference range of
-	// any receiver of t, so the exact predicate decides.
+	// txCand was gathered once for the whole end-of-tick batch by
+	// gatherInterferers; it is a superset of every transmission within
+	// interference range of any receiver of any batch member, so the
+	// exact predicate decides. Batch-mates are in the set and genuinely
+	// overlap each other; t itself is skipped by the u == t check.
 	for _, u := range m.txCand {
-		if u.from.id != rid && corrupts(u) {
+		if u.from.id != rid && m.txCorrupts(u, t, rid, p, ir2, dWanted2) {
 			return true
 		}
 	}
 	return false
 }
 
-// gatherInterferers collects, once per airing, the active transmissions
-// that could interfere at any of t's receivers. Every receiver lies
-// within Range of t.pos and an interferer matters within ir of the
-// receiver, so one index query of radius Range+ir around the sender
-// covers them all. A unicast airing indexed under both of its anchors
-// may appear twice; corruptedAt's predicate is idempotent, so
-// duplicates only cost a re-check.
-func (m *Medium) gatherInterferers(t *transmission) {
+// gatherInterferers collects, once per end-of-tick batch, the active
+// transmissions that could interfere at any receiver of any batch
+// member. Every receiver lies within Range of its sender and an
+// interferer matters within ir of the receiver, so one index query of
+// radius Range+ir around each batch sender covers them all; candidates
+// are deduplicated across the batch (and across a unicast airing's two
+// anchors) with an epoch stamp on the transmission object, so the union
+// is gathered in a single pass over the affected grid cells.
+func (m *Medium) gatherInterferers() {
 	m.txCand = m.txCand[:0]
+	m.candEpoch++
 	reach := m.cfg.Range * (1 + m.cfg.CSRangeFactor)
-	m.txIdx.Near(t.pos, reach, func(h int, _ geom.Point) bool {
-		if u := m.txByHandle[h]; u != t {
-			m.txCand = append(m.txCand, u)
+	for _, t := range m.batch {
+		m.csScratch = m.txIdx.NearIDs(t.pos, reach, m.csScratch[:0])
+		for _, h := range m.csScratch {
+			if u := m.txByHandle[h]; u.candMark != m.candEpoch {
+				u.candMark = m.candEpoch
+				m.txCand = append(m.txCand, u)
+			}
 		}
-		return true
-	})
+	}
+}
+
+// resolveEnds is the end-of-airing event handler. Airings whose ends
+// coincide (same simulated tick) are resolved as one batch: the first
+// end event to fire prunes the FIFO once, gathers the batch's shared
+// interferer-candidate set in one pass over the affected grid cells,
+// and then resolves every batch member in scheduling order; the
+// remaining members' own end events become no-ops. Ordering is
+// preserved — batch members are resolved in active-FIFO order, which is
+// exactly the order their individual end events were scheduled in.
+func (m *Medium) resolveEnds(t *transmission) {
+	if t.resolved {
+		return
+	}
+	now := m.sched.Now()
+	m.pruneActive()
+	m.batch = m.batch[:0]
+	for _, u := range m.active[m.head:] {
+		if !u.resolved && u.end == now {
+			u.resolved = true
+			m.batch = append(m.batch, u)
+		}
+	}
+	if m.txIdx != nil {
+		m.gatherInterferers()
+	}
+	for _, u := range m.batch {
+		u.from.endTransmission(u)
+	}
 }
 
 // finishTransmission resolves receptions at the end of an airing and
 // reports whether the unicast destination (if any) received the frame.
+// The caller (resolveEnds) has already pruned the FIFO and gathered the
+// batch's interferer candidates.
 func (m *Medium) finishTransmission(t *transmission) bool {
-	m.pruneActive()
-	if m.txIdx != nil {
-		m.gatherInterferers(t)
-	}
 	if dst := t.frame.Dst; dst != Broadcast {
 		// Unicast fast path: only the destination can accept the frame,
 		// and radio ids are dense insertion indices, so the id→radio

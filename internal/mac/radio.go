@@ -16,9 +16,10 @@ type Radio struct {
 
 	queue        []*Frame // FIFO, bounded by Config.QueueLen
 	transmitting bool
-	attemptArmed bool // a backoff/deferral attempt event is pending
-	cw           int  // current contention window in slots
-	retries      int  // retries consumed by the head-of-line frame
+	attemptArmed bool        // a backoff/deferral attempt event is pending
+	attemptFn    des.Handler // shared disarm-and-retry handler (one alloc per radio)
+	cw           int         // current contention window in slots
+	retries      int         // retries consumed by the head-of-line frame
 	// recent holds this radio's own latest airing intervals for
 	// half-duplex checks (spatial-index mode only); pruned on each new
 	// airing.
@@ -79,16 +80,20 @@ func (r *Radio) tryTransmit() {
 	r.startTransmission()
 }
 
+// armAttempt schedules the shared disarm-and-retry handler after wait
+// seconds. The handler closure is allocated once per radio (see
+// Medium.AddRadio), not per deferral — deferrals are a per-frame hot
+// path under contention.
+func (r *Radio) armAttempt(wait float64) {
+	r.attemptArmed = true
+	r.medium.sched.After(wait, r.attemptFn)
+}
+
 // deferUntil schedules a fresh channel sense shortly after the sensed
 // occupancy clears, plus DIFS and a random backoff.
 func (r *Radio) deferUntil(until des.Time) {
 	m := r.medium
-	wait := (until - m.sched.Now()) + m.cfg.DIFS + float64(m.rng.Intn(r.cw))*m.cfg.SlotTime
-	r.attemptArmed = true
-	m.sched.After(wait, func() {
-		r.attemptArmed = false
-		r.tryTransmit()
-	})
+	r.armAttempt((until - m.sched.Now()) + m.cfg.DIFS + float64(m.rng.Intn(r.cw))*m.cfg.SlotTime)
 }
 
 // backoffRetry schedules a retransmission attempt after a collision, with
@@ -96,12 +101,7 @@ func (r *Radio) deferUntil(until des.Time) {
 func (r *Radio) backoffRetry() {
 	m := r.medium
 	r.cw = min(r.cw*2, m.cfg.CWMax)
-	wait := m.cfg.DIFS + float64(1+m.rng.Intn(r.cw))*m.cfg.SlotTime
-	r.attemptArmed = true
-	m.sched.After(wait, func() {
-		r.attemptArmed = false
-		r.tryTransmit()
-	})
+	r.armAttempt(m.cfg.DIFS + float64(1+m.rng.Intn(r.cw))*m.cfg.SlotTime)
 }
 
 // startTransmission puts the head-of-line frame on the air.
@@ -178,10 +178,6 @@ func (r *Radio) completeHead(f *Frame, ok bool) {
 		r.onSent(f, ok)
 	}
 	if len(r.queue) > 0 {
-		r.attemptArmed = true
-		m.sched.After(m.cfg.SIFS, func() {
-			r.attemptArmed = false
-			r.tryTransmit()
-		})
+		r.armAttempt(m.cfg.SIFS)
 	}
 }

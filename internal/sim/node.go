@@ -24,7 +24,9 @@ type Protocol interface {
 	// OnFrame delivers a received protocol frame payload.
 	OnFrame(payload any, from int)
 	// OnBeacon notifies the protocol that a beacon was heard (node-level
-	// neighbor/location bookkeeping has already run).
+	// neighbor/location bookkeeping has already run). b.Neighbors aliases
+	// a pooled buffer recycled after the airing resolves; implementations
+	// must copy it if they keep it.
 	OnBeacon(b Beacon)
 	// StorageUsed returns the number of messages currently held, the
 	// paper's storage metric.
@@ -126,10 +128,14 @@ func (n *Node) OraclePosition(id int) geom.Point {
 }
 
 // Broadcast queues a broadcast frame. It reports whether the frame was
-// accepted by the link-layer queue.
+// accepted by the link-layer queue. The frame object is pooled; the
+// payload is released to the garbage collector when the MAC resolves
+// the frame.
 func (n *Node) Broadcast(kind FrameKind, payload any, bits int) bool {
 	n.countFrame(kind)
-	return n.radio.Send(&mac.Frame{Dst: mac.Broadcast, Bits: bits, Payload: payload})
+	f := n.world.takeFrame()
+	f.Dst, f.Bits, f.Payload = mac.Broadcast, bits, payload
+	return n.radio.Send(f)
 }
 
 // Unicast queues a unicast frame; cb (may be nil) fires when the MAC
@@ -137,7 +143,8 @@ func (n *Node) Broadcast(kind FrameKind, payload any, bits int) bool {
 // frame was accepted by the link-layer queue; when it returns false, cb
 // has already been invoked with ok=false.
 func (n *Node) Unicast(dst int, kind FrameKind, payload any, bits int, cb func(ok bool)) bool {
-	f := &mac.Frame{Dst: dst, Bits: bits, Payload: payload}
+	f := n.world.takeFrame()
+	f.Dst, f.Bits, f.Payload = dst, bits, payload
 	if cb != nil {
 		n.sentCB[f] = cb
 	}
@@ -164,19 +171,27 @@ func (n *Node) ReportDelivered(m *dtn.Message) bool {
 
 // onReceive is the radio delivery callback.
 func (n *Node) onReceive(f *mac.Frame) {
-	if b, ok := f.Payload.(Beacon); ok {
-		n.handleBeacon(b)
+	if bf, ok := f.Payload.(*beaconFrame); ok {
+		n.handleBeacon(bf.b)
 		return
 	}
 	n.proto.OnFrame(f.Payload, f.Src)
 }
 
-// onSent is the radio completion callback.
+// onSent is the radio completion callback. Every reception of the frame
+// has already been delivered (the MAC resolves receptions before
+// reporting the sender), so the frame — and, for hellos, the beacon
+// payload with its advertised-neighbor buffer — recycles here.
 func (n *Node) onSent(f *mac.Frame, ok bool) {
 	if cb, exists := n.sentCB[f]; exists {
 		delete(n.sentCB, f)
 		cb(ok)
 	}
+	if bf, isBeacon := f.Payload.(*beaconFrame); isBeacon {
+		n.world.putBeacon(bf)
+		return
+	}
+	n.world.putFrame(f)
 }
 
 // handleBeacon performs the node-level bookkeeping every DTN node does on
@@ -194,13 +209,14 @@ func (n *Node) handleBeacon(b Beacon) {
 	n.proto.OnBeacon(b)
 }
 
-// sendBeacon broadcasts this node's current hello.
+// sendBeacon broadcasts this node's current hello from a pooled frame:
+// the advertised-neighbor list is built in the pooled buffer, so a
+// steady-state beacon allocates nothing.
 func (n *Node) sendBeacon() {
-	nbrs := n.Neighbors().Snapshot()
-	adv := make([]dtn.NeighborNeighbor, len(nbrs))
-	for i, r := range nbrs {
-		adv[i] = dtn.NeighborNeighbor{ID: r.ID, Pos: r.Pos}
-	}
-	b := Beacon{From: n.id, Pos: n.Pos(), Time: n.Now(), Neighbors: adv}
-	n.Broadcast(KindControl, b, beaconBits(len(adv)))
+	bf := n.world.takeBeacon()
+	adv := n.Neighbors().AppendAdvertised(bf.b.Neighbors[:0])
+	bf.b = Beacon{From: n.id, Pos: n.Pos(), Time: n.Now(), Neighbors: adv}
+	bf.frame = mac.Frame{Dst: mac.Broadcast, Bits: beaconBits(len(adv)), Payload: bf}
+	n.countFrame(KindControl)
+	n.radio.Send(&bf.frame)
 }

@@ -55,6 +55,13 @@ type Scenario struct {
 	// naive O(n) scans instead of the uniform-grid index. Results are
 	// identical; the node-count sweep uses it to measure the win.
 	DisableSpatialIndex bool
+
+	// DisableDenseTables backs every node's neighbor/location tables
+	// with the map-based reference implementation instead of the dense
+	// id-indexed arrays (mirroring DisableSpatialIndex and
+	// core.Config.DisableSpannerCache). Results are identical; the
+	// node-count sweep uses it to measure allocation pressure.
+	DisableDenseTables bool
 }
 
 // DefaultScenario returns the paper's Table-1 baseline at the given

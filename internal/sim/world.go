@@ -22,6 +22,57 @@ type World struct {
 	nodes     []*Node
 	collector *metrics.Collector
 	rng       *rand.Rand
+
+	// Free lists (the internal/des pattern) for the per-send objects of
+	// the hot path: broadcast hellos with their payload buffers, and
+	// generic protocol frames. Single-threaded like the scheduler.
+	freeBeacons []*beaconFrame
+	freeFrames  []*mac.Frame
+}
+
+// beaconFrame couples one pooled hello with its MAC frame so frame,
+// payload box, and advertised-neighbor buffer all recycle together when
+// the MAC reports the broadcast sent. Receivers copy what they keep
+// (NeighborTable.Observe row-owned storage), so recycling at that point
+// is safe.
+type beaconFrame struct {
+	frame mac.Frame
+	b     Beacon
+}
+
+// takeBeacon returns a recycled (or fresh) pooled hello.
+func (w *World) takeBeacon() *beaconFrame {
+	if n := len(w.freeBeacons); n > 0 {
+		bf := w.freeBeacons[n-1]
+		w.freeBeacons = w.freeBeacons[:n-1]
+		return bf
+	}
+	return &beaconFrame{}
+}
+
+// putBeacon recycles bf, keeping its advertised-neighbor buffer.
+func (w *World) putBeacon(bf *beaconFrame) {
+	adv := bf.b.Neighbors[:0]
+	bf.frame = mac.Frame{}
+	bf.b = Beacon{Neighbors: adv}
+	w.freeBeacons = append(w.freeBeacons, bf)
+}
+
+// takeFrame returns a recycled (or fresh) MAC frame for a protocol send.
+func (w *World) takeFrame() *mac.Frame {
+	if n := len(w.freeFrames); n > 0 {
+		f := w.freeFrames[n-1]
+		w.freeFrames = w.freeFrames[:n-1]
+		return f
+	}
+	return &mac.Frame{}
+}
+
+// putFrame recycles f once the MAC has fully resolved it (onSent), the
+// only point after which neither the medium nor any receiver reads it.
+func (w *World) putFrame(f *mac.Frame) {
+	*f = mac.Frame{}
+	w.freeFrames = append(w.freeFrames, f)
 }
 
 // newRand builds a deterministic RNG stream from a seed.
@@ -60,13 +111,18 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 
 	for i := 0; i < cfg.N; i++ {
 		n := &Node{
-			id:        i,
-			world:     w,
-			mob:       models[i],
-			rng:       newRand(cfg.Seed + int64(i)*104729 + 7),
-			neighbors: dtn.NewNeighborTable(),
-			locations: dtn.NewLocationTable(),
-			sentCB:    make(map[*mac.Frame]func(bool)),
+			id:     i,
+			world:  w,
+			mob:    models[i],
+			rng:    newRand(cfg.Seed + int64(i)*104729 + 7),
+			sentCB: make(map[*mac.Frame]func(bool)),
+		}
+		if cfg.DisableDenseTables {
+			n.neighbors = dtn.NewNeighborTable()
+			n.locations = dtn.NewLocationTable()
+		} else {
+			n.neighbors = dtn.NewDenseNeighborTable(cfg.N)
+			n.locations = dtn.NewDenseLocationTable(cfg.N)
 		}
 		n.radio, err = w.medium.AddRadio(i, n.Pos, n.onReceive, n.onSent)
 		if err != nil {
