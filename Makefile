@@ -7,14 +7,15 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
 # Benchmarks under the CI regression gate (spanner construction + MAC
-# medium + dense node-state plane + beacon tick + the calibration probe
-# benchgate normalizes by). The gate covers ns/op (calibration-
-# normalized) and, from -benchmem, B/op and allocs/op (raw).
-BENCH_GATE_PATTERN := BenchmarkSpanner|BenchmarkDelaunay|BenchmarkMedium|BenchmarkNeighborTable|BenchmarkBeaconTick|BenchmarkCalibration
-BENCH_GATE_PKGS := ./internal/geom ./internal/ldt ./internal/mac ./internal/dtn ./internal/sim
+# medium + dense node-state plane + beacon tick + the parallel Runner
+# sweep + the calibration probe benchgate normalizes by). The gate
+# covers ns/op (calibration-normalized) and, from -benchmem, B/op and
+# allocs/op (raw).
+BENCH_GATE_PATTERN := BenchmarkSpanner|BenchmarkDelaunay|BenchmarkMedium|BenchmarkNeighborTable|BenchmarkBeaconTick|BenchmarkRunner|BenchmarkCalibration
+BENCH_GATE_PKGS := . ./internal/geom ./internal/ldt ./internal/mac ./internal/dtn ./internal/sim
 BENCH_GATE_FLAGS := -benchmem -count 5 -benchtime 0.3s -run '^$$'
 
-.PHONY: build test test-short bench bench-gate bench-baseline fmt vet ci
+.PHONY: build test test-short bench bench-gate bench-baseline api api-check fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -34,11 +35,14 @@ bench:
 
 ## bench-gate is the CI regression job: five repetitions per benchmark,
 ## median ns/op normalized by the calibration probe, fail on >15%
-## regression vs ci/bench_baseline.json. Emits BENCH_spanner.json.
+## regression vs ci/bench_baseline.json. Emits BENCH_spanner.json. The
+## Runner macro-benchmarks gate on memory only (-skip-ns): their
+## wall-clock depends on the host's core count, which the
+## single-threaded calibration probe cannot normalize.
 bench-gate:
 	$(GO) test -bench '$(BENCH_GATE_PATTERN)' $(BENCH_GATE_FLAGS) $(BENCH_GATE_PKGS) | tee bench.txt
 	$(GO) run ./cmd/benchgate -in bench.txt -baseline ci/bench_baseline.json \
-		-out BENCH_spanner.json -tolerance 0.15
+		-out BENCH_spanner.json -tolerance 0.15 -skip-ns '^Runner'
 
 ## bench-baseline refreshes the committed baseline (run on an idle
 ## machine; commit the result together with the change that moved it).
@@ -46,17 +50,38 @@ bench-baseline:
 	$(GO) test -bench '$(BENCH_GATE_PATTERN)' $(BENCH_GATE_FLAGS) $(BENCH_GATE_PKGS) | tee bench.txt
 	$(GO) run ./cmd/benchgate -in bench.txt -write ci/bench_baseline.json
 
+## api regenerates the committed public-API surface (api/glr.txt). Run
+## it — and commit the diff — whenever a public-API change is
+## intentional.
+api:
+	$(GO) doc -all . > api/glr.txt
+
+## api-check is the CI API-surface gate: any drift of `go doc -all`
+## against the committed api/glr.txt fails, so public-API breaks are
+## always explicit in review.
+api-check:
+	@$(GO) doc -all . > .api-current.txt || { \
+		rm -f .api-current.txt; \
+		echo "go doc failed; cannot check the API surface" >&2; exit 1; }
+	@if ! diff -u api/glr.txt .api-current.txt; then \
+		rm -f .api-current.txt; \
+		echo "public API surface drifted from api/glr.txt;" >&2; \
+		echo "run 'make api' and commit the diff if intentional" >&2; \
+		exit 1; \
+	fi; rm -f .api-current.txt
+
 fmt:
 	$(GO) fmt ./...
 
 vet:
 	$(GO) vet ./...
 
-## ci is the whole pipeline: build, formatting gate, vet, short tests,
-## and the benchmark-regression gate.
+## ci is the whole pipeline: build, formatting gate, vet, API-surface
+## gate, short tests, and the benchmark-regression gate.
 ci: build
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
+	$(MAKE) api-check
 	$(GO) test -race -short ./...
 	$(MAKE) bench-gate

@@ -9,6 +9,8 @@ package glr
 // runs the full-fidelity versions.
 
 import (
+	"context"
+	"runtime"
 	"testing"
 
 	"glr/internal/experiments"
@@ -175,6 +177,47 @@ func BenchmarkSingleRunGLR(b *testing.B) {
 		}
 	}
 }
+
+// runnerScenario is the replication workload of the Runner benchmarks:
+// small enough for the CI benchmark gate, large enough that per-run
+// work dominates pool overhead.
+func runnerScenario(b *testing.B) *Scenario {
+	sc, err := NewScenario(
+		WithNodes(50),
+		WithRange(100),
+		WithWorkload(UniformWorkload{Messages: 40, Rate: 1}),
+		WithSimTime(120),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// benchmarkRunner measures a 4-seed replication sweep at the given pool
+// width.
+func benchmarkRunner(b *testing.B, workers int) {
+	sc := runnerScenario(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum, err := Runner{Workers: workers}.Replicate(ctx, sc, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(sum.DeliveryRatio.Mean, "delivery-ratio")
+	}
+}
+
+// BenchmarkRunnerSequential is the single-worker baseline of the
+// parallel Runner: the gap to BenchmarkRunnerParallel is the multi-core
+// speedup the benchgate baseline records.
+func BenchmarkRunnerSequential(b *testing.B) { benchmarkRunner(b, 1) }
+
+// BenchmarkRunnerParallel runs the identical sweep on a GOMAXPROCS-wide
+// pool (results are identical seed-for-seed; see
+// TestRunnerParallelMatchesSequential).
+func BenchmarkRunnerParallel(b *testing.B) { benchmarkRunner(b, runtime.GOMAXPROCS(0)) }
 
 // BenchmarkSingleRunEpidemic is the epidemic counterpart.
 func BenchmarkSingleRunEpidemic(b *testing.B) {

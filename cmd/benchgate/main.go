@@ -28,6 +28,14 @@
 // gate; new benchmarks are reported and recorded but not gated.
 // Baselines written before the memory metrics existed (no B/op fields)
 // gate ns/op only.
+//
+// -skip-ns takes a regexp of benchmark names (without the Benchmark
+// prefix) whose ns/op is informational only: wall-clock
+// macro-benchmarks — like the parallel Runner sweeps, whose time
+// depends on the host's core count in a way the single-threaded
+// calibration probe cannot normalize — are recorded in the baseline
+// for visibility but gate only on their (machine-independent) B/op and
+// allocs/op.
 package main
 
 import (
@@ -83,8 +91,17 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline JSON to gate against")
 		out       = flag.String("out", "", "write the current digest (with verdicts in the note) to this path")
 		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional regression per metric (ns/op normalized; B/op and allocs/op raw)")
+		skipNs    = flag.String("skip-ns", "", "regexp of benchmark names (sans Benchmark prefix) whose ns/op is informational only; memory metrics still gate")
 	)
 	flag.Parse()
+
+	var skipNsRe *regexp.Regexp
+	if *skipNs != "" {
+		var err error
+		if skipNsRe, err = regexp.Compile(*skipNs); err != nil {
+			fatal(fmt.Errorf("bad -skip-ns regexp: %w", err))
+		}
+	}
 
 	cur, err := parse(*in)
 	if err != nil {
@@ -110,7 +127,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	failures, report := compare(base, cur, *tolerance)
+	failures, report := compare(base, cur, *tolerance, skipNsRe)
 	cur.Note = report
 	if *out != "" {
 		if err := emit(*out, cur); err != nil {
@@ -214,7 +231,8 @@ func memVerdict(base, cur *float64, tolerance, slack float64) (regressed bool, d
 }
 
 // compare gates cur against base and renders a human-readable report.
-func compare(base, cur File, tolerance float64) (failures []string, report string) {
+// Benchmarks matching skipNs gate on memory metrics only.
+func compare(base, cur File, tolerance float64, skipNs *regexp.Regexp) (failures []string, report string) {
 	scale := 1.0
 	bc, okB := base.Benchmarks[calibrationName]
 	cc, okC := cur.Benchmarks[calibrationName]
@@ -243,7 +261,8 @@ func compare(base, cur File, tolerance float64) (failures []string, report strin
 		}
 		ratio := (ce.NsPerOp / scale) / be.NsPerOp
 		var problems []string
-		if ratio > 1+tolerance {
+		nsInformational := skipNs != nil && skipNs.MatchString(name)
+		if ratio > 1+tolerance && !nsInformational {
 			problems = append(problems, "ns/op")
 		}
 		if bad, detail := memVerdict(be.BytesPerOp, ce.BytesPerOp, tolerance, bytesSlack); bad {
@@ -264,6 +283,9 @@ func compare(base, cur File, tolerance float64) (failures []string, report strin
 		note := ""
 		if len(problems) > 0 {
 			note = " [" + strings.Join(problems, "; ") + "]"
+		}
+		if nsInformational {
+			note += " [ns/op informational]"
 		}
 		fmt.Fprintf(&b, "  %-10s %-28s %9.0f -> %9.0f ns/op (normalized %+.1f%%%s)%s\n",
 			verdict, name, be.NsPerOp, ce.NsPerOp, (ratio-1)*100, mem, note)

@@ -12,9 +12,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
@@ -90,8 +92,13 @@ func run() error {
 		}
 	}
 
+	// Ctrl-C abandons queued replications and stops in-flight
+	// simulations between event batches.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	runOne := func(id string) error {
-		out, err := runExperiment(id, sc, progress, *sizes, *runs)
+		out, err := runExperiment(ctx, id, sc, progress, *sizes, *runs)
 		if err != nil {
 			return err
 		}
@@ -118,14 +125,15 @@ func run() error {
 // runExperiment dispatches one artifact; the scale sweep honours the
 // -sizes/-runs overrides (the CI profile job runs a single 500-node
 // point).
-func runExperiment(id string, sc glr.Scale, progress func(string, ...any), sizes string, runs int) (string, error) {
+func runExperiment(ctx context.Context, id string, sc glr.Scale, progress func(string, ...any), sizes string, runs int) (string, error) {
 	if id != "scale" || (sizes == "" && runs == 0) {
-		return glr.RunExperimentVerbose(id, sc, progress)
+		return glr.RunExperimentContext(ctx, id, sc, progress)
 	}
 	o := experiments.QuickOptions()
 	if sc == glr.Paper {
 		o = experiments.PaperOptions()
 	}
+	o.Ctx = ctx
 	o.Progress = progress
 	if runs > 0 {
 		o.Runs = runs

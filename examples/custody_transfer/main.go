@@ -15,15 +15,18 @@ import (
 )
 
 func main() {
-	base := glr.DefaultConfig(50) // sparse: transfers fail often
-	base.Messages = 300
-	base.SimTime = 1200 // the paper's Table-3 horizon
-	base.Seed = 11
-
 	run := func(disable bool) glr.Result {
-		cfg := base
-		cfg.GLRConfig = &glr.GLRConfig{DisableCustody: disable}
-		res, err := glr.Run(cfg)
+		sc, err := glr.NewScenario(
+			glr.WithRange(50), // sparse: transfers fail often
+			glr.WithWorkload(glr.PaperWorkload{Messages: 300}),
+			glr.WithSimTime(1200), // the paper's Table-3 horizon
+			glr.WithSeed(11),
+			glr.WithGLR(glr.GLRConfig{DisableCustody: disable}),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sc.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

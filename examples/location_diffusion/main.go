@@ -16,10 +16,6 @@ import (
 )
 
 func main() {
-	base := glr.DefaultConfig(100)
-	base.Messages = 300
-	base.Seed = 3
-
 	regimes := []struct {
 		location string
 		copies   int
@@ -32,9 +28,16 @@ func main() {
 
 	fmt.Println("Destination-location knowledge vs delivery (100 m, 300 msgs):")
 	for _, reg := range regimes {
-		cfg := base
-		cfg.GLRConfig = &glr.GLRConfig{Location: reg.location, Copies: reg.copies}
-		res, err := glr.Run(cfg)
+		sc, err := glr.NewScenario(
+			glr.WithRange(100),
+			glr.WithWorkload(glr.PaperWorkload{Messages: 300}),
+			glr.WithSeed(3),
+			glr.WithGLR(glr.GLRConfig{Location: reg.location, Copies: reg.copies}),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sc.Run()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,5 +1,6 @@
-// Quickstart: run one GLR scenario at the paper's defaults and print the
-// delivery metrics.
+// Quickstart: describe one GLR scenario with the composable builder,
+// run it, and compare against the epidemic baseline on the identical
+// workload.
 //
 //	go run ./examples/quickstart
 package main
@@ -15,12 +16,17 @@ func main() {
 	// A 100 m radius on the paper's 1500×300 m strip: below the
 	// connectivity threshold (~133 m), so Algorithm 1 sends three copies
 	// of every message along the Max/Min/Mid distance-to-destination
-	// trees.
-	cfg := glr.DefaultConfig(100)
-	cfg.Messages = 200 // paper traffic pattern: 45 sources, 1 msg/s
-	cfg.Seed = 42
-
-	res, err := glr.Run(cfg)
+	// trees. Omitted options take the paper's Table-1 defaults.
+	opts := []glr.Option{
+		glr.WithRange(100),
+		glr.WithWorkload(glr.PaperWorkload{Messages: 200}), // 45 sources, 1 msg/s
+		glr.WithSeed(42),
+	}
+	sc, err := glr.NewScenario(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sc.Run()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,10 +35,15 @@ func main() {
 	fmt.Printf("  control frames: %d, data frames: %d, custody acks: %d\n",
 		res.ControlFrames, res.DataFrames, res.Acks)
 
-	// The same workload under the epidemic baseline: same deliveries,
-	// but every node ends up holding every message.
-	cfg.Protocol = glr.Epidemic
-	base, err := glr.Run(cfg)
+	// The same workload under the epidemic baseline — the scenario
+	// recomposes with one extra option: same deliveries, but every node
+	// ends up holding every message. (For multi-seed comparisons with
+	// confidence intervals, see glr.Runner and examples/sparse_comparison.)
+	epi, err := glr.NewScenario(append(opts, glr.WithProtocol(glr.Epidemic))...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := epi.Run()
 	if err != nil {
 		log.Fatal(err)
 	}

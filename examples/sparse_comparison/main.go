@@ -1,12 +1,14 @@
 // Sparse-network comparison: the paper's motivating scenario — a heavily
 // partitioned 50 m-radius strip where contemporaneous source→destination
 // paths almost never exist — run under GLR and epidemic routing, with and
-// without per-node storage limits (the Figure 4 / Figure 7 story).
+// without per-node storage limits (the Figure 4 / Figure 7 story), as a
+// multi-seed Runner sweep with mean ± 90% confidence intervals.
 //
 //	go run ./examples/sparse_comparison
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,33 +20,50 @@ func main() {
 	fmt.Println("(the unit-disk graph is shattered: ~0.9 neighbors per node on average)")
 	fmt.Println()
 
+	const seeds = 3
+	var runner glr.Runner // zero value: all CPUs, 90% confidence
+
+	sweep := func(storage int) glr.Comparison {
+		opts := []glr.Option{
+			glr.WithRange(50),
+			glr.WithWorkload(glr.PaperWorkload{Messages: 300}),
+			glr.WithSeed(7),
+		}
+		if storage > 0 {
+			opts = append(opts, glr.WithStorageLimit(storage))
+		}
+		sc, err := glr.NewScenario(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cmp, err := runner.Compare(context.Background(), sc, seeds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cmp
+	}
+
 	// Unlimited storage: both deliver via store-carry-forward; epidemic
 	// buys its delivery ratio with full replication.
-	cfg := glr.DefaultConfig(50)
-	cfg.Messages = 300
-	cfg.Seed = 7
-	mine, base, err := glr.Compare(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("Unlimited storage:")
-	fmt.Printf("  GLR:      %v\n", mine)
-	fmt.Printf("  Epidemic: %v\n", base)
+	free := sweep(0)
+	fmt.Printf("Unlimited storage (%d seeds):\n", seeds)
+	fmt.Printf("  GLR:      delivery %v, peak storage %v msgs/node\n",
+		free.GLR.DeliveryRatio, free.GLR.AvgPeakStorage)
+	fmt.Printf("  Epidemic: delivery %v, peak storage %v msgs/node\n",
+		free.Epidemic.DeliveryRatio, free.Epidemic.AvgPeakStorage)
 	fmt.Println()
 
 	// Tight storage (20 messages/node): epidemic's FIFO buffers thrash
 	// and its delivery ratio collapses; GLR's controlled flooding keeps
 	// only a handful of copies in flight and barely notices.
-	cfg.StorageLimit = 20
-	mineLtd, baseLtd, err := glr.Compare(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("Storage limited to 20 messages/node:")
-	fmt.Printf("  GLR:      %v\n", mineLtd)
-	fmt.Printf("  Epidemic: %v\n", baseLtd)
+	tight := sweep(20)
+	fmt.Printf("Storage limited to 20 messages/node (%d seeds):\n", seeds)
+	fmt.Printf("  GLR:      delivery %v, peak storage %v msgs/node\n",
+		tight.GLR.DeliveryRatio, tight.GLR.AvgPeakStorage)
+	fmt.Printf("  Epidemic: delivery %v, peak storage %v msgs/node\n",
+		tight.Epidemic.DeliveryRatio, tight.Epidemic.AvgPeakStorage)
 	fmt.Println()
-	fmt.Printf("Delivery-ratio drop under pressure: GLR %.1f%% -> %.1f%%, epidemic %.1f%% -> %.1f%%\n",
-		100*mine.DeliveryRatio, 100*mineLtd.DeliveryRatio,
-		100*base.DeliveryRatio, 100*baseLtd.DeliveryRatio)
+	fmt.Printf("Delivery drop under pressure: GLR %.1f%% -> %.1f%%, epidemic %.1f%% -> %.1f%%\n",
+		100*free.GLR.DeliveryRatio.Mean, 100*tight.GLR.DeliveryRatio.Mean,
+		100*free.Epidemic.DeliveryRatio.Mean, 100*tight.Epidemic.DeliveryRatio.Mean)
 }

@@ -1,6 +1,7 @@
 package glr
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -184,6 +185,13 @@ func RunExperiment(id string, scale Scale) (string, error) {
 // RunExperimentVerbose is RunExperiment with a progress callback (one
 // line per completed scenario point).
 func RunExperimentVerbose(id string, scale Scale, progress func(format string, args ...any)) (string, error) {
+	return RunExperimentContext(context.Background(), id, scale, progress)
+}
+
+// RunExperimentContext is RunExperimentVerbose with cancellation: once
+// ctx is done, queued replications are abandoned and in-flight
+// simulations stop between event batches, returning ctx's error.
+func RunExperimentContext(ctx context.Context, id string, scale Scale, progress func(format string, args ...any)) (string, error) {
 	e, ok := experimentTable[id]
 	if !ok {
 		return "", fmt.Errorf("glr: unknown experiment %q (known: %v)", id, experimentIDs())
@@ -192,6 +200,7 @@ func RunExperimentVerbose(id string, scale Scale, progress func(format string, a
 	if scale == Paper {
 		o = experiments.PaperOptions()
 	}
+	o.Ctx = ctx
 	o.Progress = progress
 	return e.run(o)
 }

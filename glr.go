@@ -9,21 +9,57 @@
 // harness that regenerates every table and figure of the paper's
 // evaluation.
 //
-// Quick start:
+// Quick start — describe a scenario with functional options and run it:
 //
-//	cfg := glr.DefaultConfig(100) // 100 m transmission range
-//	cfg.Messages = 200
-//	res, err := glr.Run(cfg)
+//	sc, err := glr.NewScenario(
+//		glr.WithRange(100),          // metres (paper: 50–250)
+//		glr.WithWorkload(glr.PaperWorkload{Messages: 200}),
+//		glr.WithSeed(42),
+//	)
+//	res, err := sc.Run()
 //	fmt.Println(res)
 //
-// Compare against the epidemic baseline:
+// Everything is pluggable. Mobility models (the paper's random
+// waypoint, static placement, a reflecting random walk, scripted
+// traces):
 //
-//	mine, base, err := glr.Compare(cfg)
+//	sc, err := glr.NewScenario(
+//		glr.WithMobility(glr.RandomWalk{MaxSpeed: 10, LegTime: 30}),
+//	)
+//
+// Traffic workloads (the paper's round-robin pattern, uniform random
+// pairs, Poisson arrivals, hotspot sinks, explicit schedules — or any
+// type implementing Workload):
+//
+//	sc, err := glr.NewScenario(
+//		glr.WithWorkload(glr.PoissonWorkload{Messages: 500, Rate: 2}),
+//	)
+//
+// Observe a run in flight instead of waiting for the final digest —
+// per-event callbacks plus a periodic time series of delivery, latency,
+// buffer occupancy, and control overhead:
+//
+//	sc, err := glr.NewScenario(glr.WithObserver(&glr.Observer{
+//		OnDelivered: func(e glr.DeliveryEvent) { fmt.Println("delivered", e.Src, e.Seq, e.Latency()) },
+//		SampleEvery: 60,
+//		OnSample:    func(s glr.Sample) { fmt.Printf("t=%gs ratio=%.2f buffered=%d\n", s.Time, s.DeliveryRatio, s.BufferTotal) },
+//	}))
+//
+// Replicate across seeds — and compare protocols — on all cores, with
+// mean ± confidence-interval aggregation and context cancellation:
+//
+//	var r glr.Runner // zero value: all CPUs, 90% confidence
+//	cmp, err := r.Compare(ctx, sc, 10)
+//	fmt.Println(cmp.GLR.DeliveryRatio, cmp.Epidemic.DeliveryRatio)
 //
 // Regenerate a paper artifact:
 //
 //	out, err := glr.RunExperiment("fig7", glr.Quick)
 //	fmt.Println(out)
+//
+// The flat Config / Run / Compare surface predating the builder remains
+// as a thin adapter and produces byte-identical results; new code
+// should prefer NewScenario.
 //
 // # Performance & scaling
 //
@@ -124,6 +160,7 @@ import (
 
 	"glr/internal/core"
 	"glr/internal/epidemic"
+	"glr/internal/metrics"
 	"glr/internal/sim"
 )
 
@@ -138,8 +175,15 @@ const (
 	Epidemic Protocol = "epidemic"
 )
 
-// Config describes one simulation run. Zero values fall back to the
-// paper's Table-1 defaults; construct with DefaultConfig.
+// Config describes one simulation run on the original flat surface.
+// Zero values fall back to the paper's Table-1 defaults; construct with
+// DefaultConfig.
+//
+// Config predates the composable scenario API and remains supported as
+// a thin adapter: Run(cfg) is exactly cfg.Scenario() + Scenario.Run and
+// produces byte-identical results. New code should use NewScenario,
+// which also reaches the mobility models, workloads, observers, and the
+// parallel Runner that Config cannot express.
 type Config struct {
 	// Protocol to run (default GLR).
 	Protocol Protocol
@@ -253,21 +297,8 @@ func (r Result) String() string {
 		r.MaxPeakStorage, r.AvgPeakStorage)
 }
 
-// Run executes one simulation and returns its metrics.
-func Run(cfg Config) (Result, error) {
-	scenario, err := cfg.scenario()
-	if err != nil {
-		return Result{}, err
-	}
-	factory, err := cfg.factory()
-	if err != nil {
-		return Result{}, err
-	}
-	w, err := sim.NewWorld(scenario, factory)
-	if err != nil {
-		return Result{}, err
-	}
-	rep := w.Run()
+// resultFromReport lowers the internal run digest onto the public type.
+func resultFromReport(rep metrics.Report) Result {
 	return Result{
 		Generated:      rep.Generated,
 		Delivered:      rep.Delivered,
@@ -280,10 +311,28 @@ func Run(cfg Config) (Result, error) {
 		ControlFrames:  rep.ControlFrames,
 		DataFrames:     rep.DataFrames,
 		Acks:           rep.Acks,
-	}, nil
+	}
+}
+
+// Run executes one simulation and returns its metrics.
+//
+// Run is the original flat entry point, kept as a thin adapter over the
+// scenario builder: it is exactly cfg.Scenario() followed by
+// Scenario.Run, with byte-identical results. New code should use
+// NewScenario.
+func Run(cfg Config) (Result, error) {
+	sc, err := cfg.Scenario()
+	if err != nil {
+		return Result{}, err
+	}
+	return sc.Run()
 }
 
 // Compare runs the same scenario under GLR and epidemic routing.
+//
+// Like Run, Compare is a thin adapter over the scenario builder; for
+// multi-seed comparisons with confidence intervals and a worker pool,
+// use Runner.Compare.
 func Compare(cfg Config) (glrRes, epidemicRes Result, err error) {
 	cfg.Protocol = GLR
 	glrRes, err = Run(cfg)
@@ -295,58 +344,138 @@ func Compare(cfg Config) (glrRes, epidemicRes Result, err error) {
 	return
 }
 
-// scenario translates the public Config into the internal scenario.
-func (cfg Config) scenario() (sim.Scenario, error) {
-	rangeM := cfg.Range
-	if rangeM == 0 {
-		rangeM = 100
+// Validate reports a descriptive error for unusable configurations.
+// Negative knobs are rejected rather than silently treated as unset.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Nodes < 0:
+		return fmt.Errorf("glr: node count %d must be nonnegative", cfg.Nodes)
+	case cfg.Range < 0:
+		return fmt.Errorf("glr: range %v must be nonnegative", cfg.Range)
+	case cfg.Width < 0 || cfg.Height < 0:
+		// One dimension set without the other keeps the default region,
+		// as the legacy path always did; only negatives are rejected.
+		return fmt.Errorf("glr: region %vx%v must be nonnegative", cfg.Width, cfg.Height)
+	case cfg.Messages < 0:
+		return fmt.Errorf("glr: message count %d must be nonnegative", cfg.Messages)
+	case cfg.SimTime < 0:
+		return fmt.Errorf("glr: sim time %v must be nonnegative", cfg.SimTime)
+	case cfg.StorageLimit < 0:
+		return fmt.Errorf("glr: storage limit %d must be nonnegative", cfg.StorageLimit)
+	case cfg.MaxSpeed < 0:
+		return fmt.Errorf("glr: max speed %v must be nonnegative", cfg.MaxSpeed)
 	}
-	s := sim.DefaultScenario(rangeM)
-	if cfg.Nodes > 0 {
-		s.N = cfg.Nodes
+	if err := cfg.GLRConfig.validate(); err != nil {
+		return err
 	}
-	if cfg.Width > 0 && cfg.Height > 0 {
-		s.Region.W, s.Region.H = cfg.Width, cfg.Height
-	}
-	if cfg.MaxSpeed > 0 {
-		s.MaxSpeed = cfg.MaxSpeed
-	}
-	if cfg.Static {
-		s.Mobility = sim.MobilityStatic
-	}
-	s.StorageLimit = cfg.StorageLimit
-	s.Seed = cfg.Seed
-	if len(cfg.Traffic) > 0 {
-		for _, m := range cfg.Traffic {
-			s.Traffic = append(s.Traffic, sim.TrafficItem{Src: m.Src, Dst: m.Dst, At: m.At})
-		}
-	} else {
-		msgs := cfg.Messages
-		if msgs <= 0 {
-			msgs = 200
-		}
-		s.Traffic = sim.PaperTraffic(msgs)
-	}
-	if cfg.SimTime > 0 {
-		s.SimTime = cfg.SimTime
-	} else {
-		last := 0.0
-		for _, ti := range s.Traffic {
-			if ti.At > last {
-				last = ti.At
-			}
-		}
-		s.SimTime = last + 600
-	}
-	return s, s.Validate()
+	return cfg.EpidemicConfig.validate()
 }
 
-// factory builds the protocol factory for the configured protocol.
-func (cfg Config) factory() (sim.ProtocolFactory, error) {
-	switch cfg.Protocol {
+// validate rejects knob values outside their domain (nil is valid:
+// paper defaults).
+func (o *GLRConfig) validate() error {
+	if o == nil {
+		return nil
+	}
+	switch {
+	case o.CheckInterval < 0:
+		return fmt.Errorf("glr: check interval %v must be nonnegative", o.CheckInterval)
+	case o.Copies < 0:
+		return fmt.Errorf("glr: copy count %d must be nonnegative", o.Copies)
+	case o.K < 0:
+		return fmt.Errorf("glr: LDTG depth K %d must be nonnegative", o.K)
+	}
+	switch o.Location {
+	case "", "source", "all", "none":
+	default:
+		return fmt.Errorf("glr: unknown location regime %q", o.Location)
+	}
+	return nil
+}
+
+// validate rejects knob values outside their domain (nil is valid:
+// faithful Vahdat–Becker defaults).
+func (o *EpidemicConfig) validate() error {
+	if o == nil {
+		return nil
+	}
+	switch {
+	case o.ExchangeInterval < 0:
+		return fmt.Errorf("glr: exchange interval %v must be nonnegative", o.ExchangeInterval)
+	case o.DataSendRate < 0:
+		return fmt.Errorf("glr: data send rate %v must be nonnegative", o.DataSendRate)
+	}
+	return nil
+}
+
+// Scenario translates the flat Config onto the scenario builder — the
+// migration path from the legacy surface: Run(cfg) ≡ cfg.Scenario() +
+// Scenario.Run. The translation preserves the legacy zero-value
+// semantics exactly (0 = paper default everywhere).
+func (cfg Config) Scenario() (*Scenario, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opts := []Option{WithProtocol(cfg.Protocol), WithSeed(cfg.Seed)}
+	if cfg.Nodes > 0 {
+		opts = append(opts, WithNodes(cfg.Nodes))
+	}
+	if cfg.Range > 0 {
+		opts = append(opts, WithRange(cfg.Range))
+	}
+	if cfg.Width > 0 && cfg.Height > 0 {
+		opts = append(opts, WithRegion(cfg.Width, cfg.Height))
+	}
+	if cfg.SimTime > 0 {
+		opts = append(opts, WithSimTime(cfg.SimTime))
+	}
+	if cfg.StorageLimit > 0 {
+		opts = append(opts, WithStorageLimit(cfg.StorageLimit))
+	}
+	if cfg.Static {
+		opts = append(opts, WithMobility(Static{}))
+		if cfg.MaxSpeed > 0 {
+			// The legacy path carried MaxSpeed into static scenarios,
+			// where it only widens the radio index's staleness slack;
+			// preserved for byte-identical adapter results.
+			opts = append(opts, legacyMaxSpeed(cfg.MaxSpeed))
+		}
+	} else if cfg.MaxSpeed > 0 {
+		opts = append(opts, WithMobility(Waypoint{MaxSpeed: cfg.MaxSpeed}))
+	}
+	if len(cfg.Traffic) > 0 {
+		opts = append(opts, WithWorkload(ScheduleWorkload(cfg.Traffic)))
+	} else {
+		// Always the fixed 45-source pattern, never the adaptive
+		// PaperWorkload: legacy configs on networks too small for it
+		// must keep erroring exactly as they always did.
+		opts = append(opts, WithWorkload(legacyPaperWorkload{messages: cfg.Messages}))
+	}
+	if cfg.GLRConfig != nil {
+		opts = append(opts, WithGLR(*cfg.GLRConfig))
+	}
+	if cfg.EpidemicConfig != nil {
+		opts = append(opts, WithEpidemic(*cfg.EpidemicConfig))
+	}
+	return NewScenario(opts...)
+}
+
+// buildFactory constructs the protocol factory shared by the scenario
+// builder and the legacy Config adapter, validating every knob (invalid
+// values error instead of passing through as "unset").
+func buildFactory(p Protocol, g *GLRConfig, e *EpidemicConfig) (sim.ProtocolFactory, error) {
+	// Both knob sets validate regardless of the selected protocol:
+	// Runner.Compare runs the same scenario under either.
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	if err := e.validate(); err != nil {
+		return nil, err
+	}
+	switch p {
 	case Epidemic:
 		ec := epidemic.DefaultConfig()
-		if o := cfg.EpidemicConfig; o != nil {
+		if o := e; o != nil {
 			if o.ExchangeInterval > 0 {
 				ec.ExchangeInterval = o.ExchangeInterval
 			}
@@ -359,7 +488,7 @@ func (cfg Config) factory() (sim.ProtocolFactory, error) {
 		return epidemic.New(ec)
 	case GLR, "":
 		gc := core.DefaultConfig()
-		if o := cfg.GLRConfig; o != nil {
+		if o := g; o != nil {
 			if o.CheckInterval > 0 {
 				gc.CheckInterval = o.CheckInterval
 			}
@@ -384,6 +513,6 @@ func (cfg Config) factory() (sim.ProtocolFactory, error) {
 		}
 		return core.New(gc)
 	default:
-		return nil, fmt.Errorf("glr: unknown protocol %q", cfg.Protocol)
+		return nil, fmt.Errorf("glr: unknown protocol %q", p)
 	}
 }

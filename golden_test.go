@@ -1,0 +1,226 @@
+package glr
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"glr/internal/metrics"
+	"glr/internal/sim"
+)
+
+// legacyScenario is the pre-builder Config-to-sim translation, kept
+// verbatim as the reference the golden equivalence test compares the
+// builder path against. It lives in the test so it cannot leak into
+// production use.
+func (cfg Config) legacyScenario() (sim.Scenario, error) {
+	rangeM := cfg.Range
+	if rangeM == 0 {
+		rangeM = 100
+	}
+	s := sim.DefaultScenario(rangeM)
+	if cfg.Nodes > 0 {
+		s.N = cfg.Nodes
+	}
+	if cfg.Width > 0 && cfg.Height > 0 {
+		s.Region.W, s.Region.H = cfg.Width, cfg.Height
+	}
+	if cfg.MaxSpeed > 0 {
+		s.MaxSpeed = cfg.MaxSpeed
+	}
+	if cfg.Static {
+		s.Mobility = sim.MobilityStatic
+	}
+	s.StorageLimit = cfg.StorageLimit
+	s.Seed = cfg.Seed
+	if len(cfg.Traffic) > 0 {
+		for _, m := range cfg.Traffic {
+			s.Traffic = append(s.Traffic, sim.TrafficItem{Src: m.Src, Dst: m.Dst, At: m.At})
+		}
+	} else {
+		msgs := cfg.Messages
+		if msgs <= 0 {
+			msgs = 200
+		}
+		s.Traffic = sim.PaperTraffic(msgs)
+	}
+	if cfg.SimTime > 0 {
+		s.SimTime = cfg.SimTime
+	} else {
+		last := 0.0
+		for _, ti := range s.Traffic {
+			if ti.At > last {
+				last = ti.At
+			}
+		}
+		s.SimTime = last + 600
+	}
+	return s, s.Validate()
+}
+
+// legacyRun executes cfg through the pre-builder reference path —
+// Config.legacyScenario + buildFactory + sim directly — bypassing the
+// scenario builder entirely.
+func legacyRun(t *testing.T, cfg Config) metrics.Report {
+	t.Helper()
+	scn, err := cfg.legacyScenario()
+	if err != nil {
+		t.Fatalf("legacy scenario: %v", err)
+	}
+	factory, err := buildFactory(cfg.Protocol, cfg.GLRConfig, cfg.EpidemicConfig)
+	if err != nil {
+		t.Fatalf("legacy factory: %v", err)
+	}
+	w, err := sim.NewWorld(scn, factory)
+	if err != nil {
+		t.Fatalf("legacy world: %v", err)
+	}
+	return w.Run()
+}
+
+// builderRun executes cfg through the public adapter: Config.Scenario
+// and the scenario builder's compile/run path.
+func builderRun(t *testing.T, cfg Config) metrics.Report {
+	t.Helper()
+	sc, err := cfg.Scenario()
+	if err != nil {
+		t.Fatalf("builder scenario: %v", err)
+	}
+	rep, err := sc.runSeed(t.Context(), sc.seed, true)
+	if err != nil {
+		t.Fatalf("builder run: %v", err)
+	}
+	return rep
+}
+
+// randomConfig draws a small but structurally varied legacy Config.
+func randomConfig(rng *rand.Rand) Config {
+	// The paper workload schedules 45 distinct sources, so node counts
+	// stay at or above the paper's 50.
+	cfg := Config{
+		Protocol: GLR,
+		Nodes:    50 + rng.Intn(10),
+		Range:    120 + rng.Float64()*130,
+		Messages: 8 + rng.Intn(15),
+		SimTime:  100 + rng.Float64()*60,
+		Seed:     rng.Int63n(1 << 30),
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.Width, cfg.Height = 800+rng.Float64()*700, 250+rng.Float64()*250
+	case 1:
+		cfg.Width = 900 // Height unset: legacy keeps the default region
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.Static = true
+		if rng.Intn(2) == 0 {
+			cfg.MaxSpeed = 5 + rng.Float64()*25 // exercises the index-slack quirk
+		}
+	case 1:
+		cfg.MaxSpeed = 5 + rng.Float64()*25
+	}
+	if rng.Intn(3) == 0 {
+		cfg.StorageLimit = 3 + rng.Intn(10)
+	}
+	if rng.Intn(3) == 0 {
+		cfg.Traffic = randomTraffic(rng, cfg.Nodes, cfg.SimTime)
+	}
+	switch rng.Intn(3) {
+	case 0:
+		cfg.GLRConfig = &GLRConfig{
+			CheckInterval:  0.5 + rng.Float64(),
+			Copies:         rng.Intn(4),
+			DisableCustody: rng.Intn(2) == 0,
+			Location:       []string{"", "source", "all", "none"}[rng.Intn(4)],
+		}
+	case 1:
+		cfg.Protocol = Epidemic
+		cfg.EpidemicConfig = &EpidemicConfig{
+			ExchangeInterval: rng.Float64() * 3,
+			DataSendRate:     float64(rng.Intn(3)) * 5,
+			BroadcastDeltas:  rng.Intn(2) == 0,
+		}
+	}
+	return cfg
+}
+
+func randomTraffic(rng *rand.Rand, n int, simTime float64) []Message {
+	msgs := make([]Message, 5+rng.Intn(10))
+	for i := range msgs {
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		msgs[i] = Message{Src: src, Dst: dst, At: rng.Float64() * simTime / 2}
+	}
+	return msgs
+}
+
+// TestGoldenBuilderEquivalence is the golden equivalence test of the
+// API redesign: across randomized legacy Configs, the scenario-builder
+// path must reproduce the legacy path's metrics.Report byte for byte —
+// including the observer-attached variant (observation is side-effect
+// free).
+func TestGoldenBuilderEquivalence(t *testing.T) {
+	cases := 10
+	if testing.Short() {
+		cases = 4
+	}
+	rng := rand.New(rand.NewSource(20260729))
+	for i := 0; i < cases; i++ {
+		cfg := randomConfig(rng)
+		t.Run(fmt.Sprintf("case%d", i), func(t *testing.T) {
+			legacy := legacyRun(t, cfg)
+			built := builderRun(t, cfg)
+			if legacy != built {
+				t.Errorf("builder diverged from legacy path\nconfig: %+v\nlegacy: %+v\nbuilt:  %+v", cfg, legacy, built)
+			}
+		})
+	}
+}
+
+// TestLegacySmallNetworkStillErrors pins the adapter's error
+// compatibility: a legacy Config whose network cannot host the fixed
+// 45-source paper pattern must keep failing, even though the builder's
+// adaptive PaperWorkload would accept it.
+func TestLegacySmallNetworkStillErrors(t *testing.T) {
+	cfg := DefaultConfig(100)
+	cfg.Nodes = 30
+	cfg.Messages = 50
+	if _, err := Run(cfg); err == nil {
+		t.Error("legacy 30-node paper-workload config now runs; it must keep erroring")
+	}
+	// The builder path accepts the same shape by design.
+	if _, err := NewScenario(WithNodes(30), WithWorkload(PaperWorkload{Messages: 50})); err != nil {
+		t.Errorf("builder path rejected the adaptive paper workload: %v", err)
+	}
+}
+
+// TestGoldenRunAdapter pins the public adapters: Run(cfg) and the
+// builder's Scenario.Run must agree exactly with the legacy reference.
+func TestGoldenRunAdapter(t *testing.T) {
+	cfg := DefaultConfig(200)
+	cfg.Messages = 15
+	cfg.SimTime = 150
+	want := resultFromReport(legacyRun(t, cfg))
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Run diverged from legacy reference: %+v vs %+v", got, want)
+	}
+	sc, err := cfg.Scenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != want {
+		t.Errorf("Scenario.Run diverged from legacy reference: %+v vs %+v", res, want)
+	}
+}

@@ -10,14 +10,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"glr/internal/core"
 	"glr/internal/epidemic"
 	"glr/internal/metrics"
+	"glr/internal/runner"
 	"glr/internal/sim"
 	"glr/internal/stats"
 )
@@ -40,6 +40,9 @@ type Options struct {
 	BaseSeed int64
 	// Parallel runs replications on all CPUs.
 	Parallel bool
+	// Ctx, when non-nil, cancels replication sweeps: once done, queued
+	// runs are abandoned and in-flight ones stop between event batches.
+	Ctx context.Context
 	// Progress, when non-nil, receives one line per completed scenario.
 	Progress func(format string, args ...any)
 }
@@ -122,8 +125,8 @@ type runSpec struct {
 	epiCfg   *epidemic.Config // nil = DefaultConfig
 }
 
-// execute builds and runs one world.
-func (rs runSpec) execute() (metrics.Report, error) {
+// execute builds and runs one world under ctx.
+func (rs runSpec) execute(ctx context.Context) (metrics.Report, error) {
 	var factory sim.ProtocolFactory
 	var err error
 	switch rs.proto {
@@ -147,39 +150,26 @@ func (rs runSpec) execute() (metrics.Report, error) {
 	if err != nil {
 		return metrics.Report{}, err
 	}
-	return w.Run(), nil
+	return w.RunContext(ctx)
 }
 
 // replicate runs spec o.Runs times with seeds BaseSeed..BaseSeed+Runs-1
-// and returns the per-run reports.
+// through the shared worker pool (internal/runner) and returns the
+// per-run reports in seed order.
 func (o Options) replicate(spec runSpec) ([]metrics.Report, error) {
-	reports := make([]metrics.Report, o.Runs)
-	errs := make([]error, o.Runs)
-	var wg sync.WaitGroup
 	workers := 1
 	if o.Parallel {
-		workers = runtime.NumCPU()
+		workers = 0 // runner.Run: GOMAXPROCS
 	}
-	sem := make(chan struct{}, workers)
+	jobs := make([]runner.Job, o.Runs)
 	for r := 0; r < o.Runs; r++ {
-		r := r
 		s := spec
 		s.scenario.Seed = o.BaseSeed + int64(r)
-		wg.Add(1)
-		sem <- struct{}{}
-		go func() {
-			defer wg.Done()
-			defer func() { <-sem }()
-			reports[r], errs[r] = s.execute()
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		jobs[r] = func(ctx context.Context) (metrics.Report, error) {
+			return s.execute(ctx)
 		}
 	}
-	return reports, nil
+	return runner.Run(o.Ctx, workers, jobs)
 }
 
 // Agg aggregates replications of one scenario point: mean ± CI for every

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -101,7 +102,7 @@ func nodeCountScenario(n, msgs int, seed int64) sim.Scenario {
 // executeInstrumented runs one GLR scenario with spanner and allocation
 // instrumentation: the report, the shared-cache stats, and the heap
 // Mallocs / GC-cycle deltas across the run (runtime.ReadMemStats).
-func executeInstrumented(s sim.Scenario, cfg core.Config) (metrics.Report, ldt.SpannerStats, uint64, uint32, error) {
+func executeInstrumented(ctx context.Context, s sim.Scenario, cfg core.Config) (metrics.Report, ldt.SpannerStats, uint64, uint32, error) {
 	factory, maint, err := core.NewInstrumented(cfg)
 	if err != nil {
 		return metrics.Report{}, ldt.SpannerStats{}, 0, 0, err
@@ -112,8 +113,11 @@ func executeInstrumented(s sim.Scenario, cfg core.Config) (metrics.Report, ldt.S
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
-	rep := w.Run()
+	rep, err := w.RunContext(ctx)
 	runtime.ReadMemStats(&after)
+	if err != nil {
+		return metrics.Report{}, ldt.SpannerStats{}, 0, 0, err
+	}
 	return rep, maint.Stats(), after.Mallocs - before.Mallocs, after.NumGC - before.NumGC, nil
 }
 
@@ -137,6 +141,10 @@ func NodeCountSweep(o Options, sizes []int) (*NodeCountResult, error) {
 	}
 	if sizes == nil {
 		sizes = NodeCountSizes
+	}
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	runs := min(o.Runs, 3)
 	res := &NodeCountResult{Runs: runs}
@@ -166,7 +174,7 @@ func NodeCountSweep(o Options, sizes []int) (*NodeCountResult, error) {
 					s.DisableDenseTables = true
 				}
 				start := time.Now()
-				rep, st, mallocs, gc, err := executeInstrumented(s, cfg)
+				rep, st, mallocs, gc, err := executeInstrumented(ctx, s, cfg)
 				elapsed := time.Since(start)
 				if err != nil {
 					return nil, err

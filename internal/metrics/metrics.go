@@ -17,13 +17,35 @@ type Collector struct {
 	created    map[dtn.MessageID]createdInfo
 	delivered  map[dtn.MessageID]deliveredInfo
 	duplicates int
+	// latencySum accumulates first-copy latencies in delivery order so
+	// Snapshot can report a running mean without walking the maps. The
+	// final Report still sums in sorted-id order (see Report).
+	latencySum float64
 
 	peakStorage []int // per node
 
 	controlFrames uint64
 	dataFrames    uint64
 	acks          uint64
+
+	hooks Hooks
 }
+
+// Hooks are optional per-event callbacks observers attach to a
+// collector. Callbacks fire synchronously on the simulation goroutine,
+// after the collector's own state is updated; they must not mutate the
+// run. Nil members are skipped.
+type Hooks struct {
+	// Created fires when a message is generated.
+	Created func(id dtn.MessageID, at float64, dst int)
+	// Delivered fires when a copy arrives at its destination. first is
+	// true for the copy that counts (latency/hops), false for
+	// duplicates. createdAt and dst echo the generation record.
+	Delivered func(id dtn.MessageID, createdAt, at float64, dst, hops int, first bool)
+}
+
+// SetHooks installs per-event callbacks (replacing any previous set).
+func (c *Collector) SetHooks(h Hooks) { c.hooks = h }
 
 type createdInfo struct {
 	at  float64
@@ -47,18 +69,59 @@ func NewCollector(n int) *Collector {
 // Created records a message generation.
 func (c *Collector) Created(id dtn.MessageID, at float64, dst int) {
 	c.created[id] = createdInfo{at: at, dst: dst}
+	if c.hooks.Created != nil {
+		c.hooks.Created(id, at, dst)
+	}
 }
 
 // Delivered records an arrival at the destination. Only the first copy
 // counts for latency/hops; later copies increment the duplicate counter.
 // It reports whether this was the first arrival.
 func (c *Collector) Delivered(id dtn.MessageID, at float64, hops int) bool {
+	first := true
 	if _, dup := c.delivered[id]; dup {
 		c.duplicates++
-		return false
+		first = false
+	} else {
+		c.delivered[id] = deliveredInfo{at: at, hops: hops}
+		if created, ok := c.created[id]; ok {
+			c.latencySum += at - created.at
+		}
 	}
-	c.delivered[id] = deliveredInfo{at: at, hops: hops}
-	return true
+	if c.hooks.Delivered != nil {
+		ci := c.created[id]
+		c.hooks.Delivered(id, ci.at, at, ci.dst, hops, first)
+	}
+	return first
+}
+
+// Snapshot is the running digest Snapshot returns: counters so far, for
+// periodic samplers observing a run in flight.
+type Snapshot struct {
+	Generated  int
+	Delivered  int
+	Duplicates int
+	// LatencySum is the sum of first-copy latencies of the Delivered
+	// messages (accumulated in delivery order; the end-of-run Report
+	// recomputes means in sorted-id order).
+	LatencySum    float64
+	ControlFrames uint64
+	DataFrames    uint64
+	Acks          uint64
+}
+
+// Snapshot returns the counters accumulated so far. O(1); safe to call
+// mid-run from the simulation goroutine.
+func (c *Collector) Snapshot() Snapshot {
+	return Snapshot{
+		Generated:     len(c.created),
+		Delivered:     len(c.delivered),
+		Duplicates:    c.duplicates,
+		LatencySum:    c.latencySum,
+		ControlFrames: c.controlFrames,
+		DataFrames:    c.dataFrames,
+		Acks:          c.acks,
+	}
 }
 
 // IsDelivered reports whether the message has already reached its

@@ -1,0 +1,108 @@
+// Package runner executes batches of independent simulation runs across
+// a bounded worker pool. It is the shared engine behind the public
+// glr.Runner and the replication loops of internal/experiments: jobs go
+// in as closures, reports come out in job order, and a context cancels
+// both queued jobs and (via sim.World.RunContext) runs in flight.
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"glr/internal/metrics"
+)
+
+// Job is one independent simulation run. It receives the pool's context
+// and should abandon work promptly once the context is done (worlds do
+// so when run through sim.World.RunContext).
+type Job func(ctx context.Context) (metrics.Report, error)
+
+// Run executes jobs across a pool of workers goroutines (0 or negative
+// means GOMAXPROCS) and returns their reports in job order — the result
+// is identical whatever the worker count, so parallel sweeps are
+// reproducible. On the first job error the pool stops claiming new jobs
+// and cancels the context passed to in-flight ones (worlds run through
+// sim.World.RunContext stop at the next event batch); the first genuine
+// error in job order is returned. A done outer context surfaces as its
+// ctx.Err.
+func Run(outer context.Context, workers int, jobs []Job) ([]metrics.Report, error) {
+	if outer == nil {
+		outer = context.Background()
+	}
+	// Child context so a failing job can abort its in-flight siblings
+	// without touching the caller's ctx.
+	ctx, abort := context.WithCancel(outer)
+	defer abort()
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	reports := make([]metrics.Report, len(jobs))
+	errs := make([]error, len(jobs))
+
+	var (
+		next int // index of the next unclaimed job
+		mu   sync.Mutex
+		wg   sync.WaitGroup
+	)
+	claim := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= len(jobs) {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := claim()
+				if i < 0 {
+					return
+				}
+				reports[i], errs[i] = jobs[i](ctx)
+				if errs[i] != nil {
+					abort()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	complete := next >= len(jobs)
+	for _, err := range errs {
+		if err != nil {
+			complete = false
+		}
+	}
+	if complete {
+		// Every job was claimed and succeeded: the result set is whole,
+		// even if ctx happened to expire after the last job finished.
+		return reports, nil
+	}
+	if err := outer.Err(); err != nil {
+		return nil, err
+	}
+	// A job failed: prefer the first genuine error in job order over the
+	// cancellations our own abort induced in its in-flight siblings.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return nil, err
+		}
+	}
+	return nil, firstErr
+}

@@ -1,0 +1,192 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"glr/internal/metrics"
+)
+
+func countingJob(i int, ran *atomic.Int32) Job {
+	return func(context.Context) (metrics.Report, error) {
+		ran.Add(1)
+		return metrics.Report{Generated: i}, nil
+	}
+}
+
+func TestRunPreservesJobOrder(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var ran atomic.Int32
+		jobs := make([]Job, 20)
+		for i := range jobs {
+			jobs[i] = countingJob(i, &ran)
+		}
+		reports, err := Run(context.Background(), workers, jobs)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if int(ran.Load()) != len(jobs) {
+			t.Fatalf("workers=%d: ran %d of %d jobs", workers, ran.Load(), len(jobs))
+		}
+		for i, rep := range reports {
+			if rep.Generated != i {
+				t.Fatalf("workers=%d: reports[%d].Generated = %d", workers, i, rep.Generated)
+			}
+		}
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	reports, err := Run(context.Background(), 4, nil)
+	if err != nil || len(reports) != 0 {
+		t.Fatalf("empty run: %v, %v", reports, err)
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		func(context.Context) (metrics.Report, error) { return metrics.Report{}, nil },
+		func(context.Context) (metrics.Report, error) { return metrics.Report{}, boom },
+		func(context.Context) (metrics.Report, error) { return metrics.Report{}, nil },
+	}
+	if _, err := Run(context.Background(), 1, jobs); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+}
+
+func TestRunErrorStopsClaiming(t *testing.T) {
+	var ran atomic.Int32
+	jobs := make([]Job, 50)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (metrics.Report, error) {
+			ran.Add(1)
+			if i == 0 {
+				return metrics.Report{}, fmt.Errorf("early failure")
+			}
+			return metrics.Report{}, nil
+		}
+	}
+	if _, err := Run(context.Background(), 1, jobs); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if got := ran.Load(); got != 1 {
+		t.Fatalf("sequential pool ran %d jobs after failure, want 1", got)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		jobs[i] = countingJob(i, &ran)
+	}
+	if _, err := Run(ctx, 2, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-canceled pool still ran %d jobs", ran.Load())
+	}
+}
+
+func TestRunCancellationMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int32
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(ctx context.Context) (metrics.Report, error) {
+			ran.Add(1)
+			if i == 0 {
+				cancel()
+			}
+			// Honour ctx like sim.World.RunContext does.
+			select {
+			case <-ctx.Done():
+				return metrics.Report{}, ctx.Err()
+			case <-time.After(time.Millisecond):
+			}
+			return metrics.Report{}, nil
+		}
+	}
+	if _, err := Run(ctx, 2, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got == int32(len(jobs)) {
+		t.Fatalf("cancellation did not stop the pool (all %d jobs ran)", got)
+	}
+}
+
+// TestFailureAbortsInFlightJobs: the first job error must cancel the
+// context handed to in-flight siblings, not just stop new claims.
+func TestFailureAbortsInFlightJobs(t *testing.T) {
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	jobs := []Job{
+		func(ctx context.Context) (metrics.Report, error) {
+			<-started // wait until the failing job is definitely running
+			select {
+			case <-ctx.Done():
+				return metrics.Report{}, ctx.Err()
+			case <-time.After(5 * time.Second):
+				return metrics.Report{}, errors.New("in-flight job was not aborted")
+			}
+		},
+		func(context.Context) (metrics.Report, error) {
+			close(started)
+			return metrics.Report{}, boom
+		},
+	}
+	begin := time.Now()
+	_, err := Run(context.Background(), 2, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the genuine job error", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("failure took %v to abort the in-flight job", elapsed)
+	}
+}
+
+// TestLateCancelKeepsCompletedResults: a context that expires after the
+// last job has already finished must not discard the completed sweep.
+func TestLateCancelKeepsCompletedResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (metrics.Report, error) {
+			if i == len(jobs)-1 {
+				cancel() // expires as the final job completes
+			}
+			return metrics.Report{Generated: i}, nil
+		}
+	}
+	reports, err := Run(ctx, 1, jobs)
+	if err != nil {
+		t.Fatalf("completed sweep discarded: %v", err)
+	}
+	for i, rep := range reports {
+		if rep.Generated != i {
+			t.Fatalf("reports[%d].Generated = %d", i, rep.Generated)
+		}
+	}
+}
+
+func TestNilContext(t *testing.T) {
+	var ran atomic.Int32
+	if _, err := Run(nil, 1, []Job{countingJob(0, &ran)}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatal("nil-context run skipped the job")
+	}
+}

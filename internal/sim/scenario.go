@@ -15,11 +15,31 @@ import (
 // MobilityKind selects the movement model for a scenario.
 type MobilityKind int
 
-// Supported mobility models.
+// Supported mobility models. All four models of internal/mobility are
+// reachable: the paper's random waypoint, uniform static placement, a
+// reflecting random walk, and scripted traces.
 const (
-	MobilityWaypoint MobilityKind = iota // the paper's random waypoint
-	MobilityStatic                       // uniform static placement
+	MobilityWaypoint   MobilityKind = iota // the paper's random waypoint
+	MobilityStatic                         // uniform static placement
+	MobilityRandomWalk                     // reflecting random walk (WalkLegTime)
+	MobilityTrace                          // scripted trajectories (Traces)
 )
+
+// String implements fmt.Stringer.
+func (k MobilityKind) String() string {
+	switch k {
+	case MobilityWaypoint:
+		return "waypoint"
+	case MobilityStatic:
+		return "static"
+	case MobilityRandomWalk:
+		return "randomwalk"
+	case MobilityTrace:
+		return "trace"
+	default:
+		return fmt.Sprintf("MobilityKind(%d)", int(k))
+	}
+}
 
 // Scenario describes one simulation run. The zero value is not runnable;
 // start from DefaultScenario.
@@ -36,6 +56,16 @@ type Scenario struct {
 	MinSpeed float64 // m/s (paper: 0)
 	MaxSpeed float64 // m/s (paper: 20)
 	Pause    float64 // s   (paper: 0)
+
+	// WalkLegTime is the straight-leg duration of the random-walk model
+	// (required > 0 when Mobility is MobilityRandomWalk; speeds reuse
+	// MinSpeed/MaxSpeed).
+	WalkLegTime float64
+	// Traces holds one scripted trajectory per node (required, length N,
+	// when Mobility is MobilityTrace). Trajectories interpolate linearly
+	// between waypoints, hold the last position afterwards, and must stay
+	// inside Region.
+	Traces [][]mobility.TracePoint
 
 	PayloadBits int // application payload per message (paper: 1000 bytes)
 
@@ -105,6 +135,32 @@ func (s Scenario) Validate() error {
 	case s.StorageLimit < 0:
 		return fmt.Errorf("sim: storage limit %d must be nonnegative", s.StorageLimit)
 	}
+	switch s.Mobility {
+	case MobilityWaypoint, MobilityStatic:
+	case MobilityRandomWalk:
+		if s.WalkLegTime <= 0 {
+			return fmt.Errorf("sim: random-walk mobility needs WalkLegTime > 0, got %v", s.WalkLegTime)
+		}
+	case MobilityTrace:
+		if len(s.Traces) != s.N {
+			return fmt.Errorf("sim: trace mobility needs one trajectory per node (%d), got %d", s.N, len(s.Traces))
+		}
+		for i, tr := range s.Traces {
+			if len(tr) == 0 {
+				return fmt.Errorf("sim: trace for node %d is empty", i)
+			}
+			for j, tp := range tr {
+				if j > 0 && tp.T <= tr[j-1].T {
+					return fmt.Errorf("sim: trace for node %d has non-increasing time at waypoint %d", i, j)
+				}
+				if !s.Region.Contains(tp.P) {
+					return fmt.Errorf("sim: trace for node %d leaves the region at waypoint %d (%v)", i, j, tp.P)
+				}
+			}
+		}
+	default:
+		return fmt.Errorf("sim: unknown mobility kind %d", int(s.Mobility))
+	}
 	for i, ti := range s.Traffic {
 		if ti.Src < 0 || ti.Src >= s.N || ti.Dst < 0 || ti.Dst >= s.N || ti.Src == ti.Dst {
 			return fmt.Errorf("sim: traffic[%d] endpoints (%d→%d) invalid", i, ti.Src, ti.Dst)
@@ -114,6 +170,29 @@ func (s Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// maxDriftSpeed returns the fastest any node can move, for sizing the
+// radio index's staleness slack: the configured MaxSpeed for the
+// speed-parameterized models, the fastest trajectory segment for
+// scripted traces (which are not bounded by MaxSpeed).
+func (s Scenario) maxDriftSpeed() float64 {
+	if s.Mobility != MobilityTrace {
+		return s.MaxSpeed
+	}
+	top := 0.0
+	for _, tr := range s.Traces {
+		for j := 1; j < len(tr); j++ {
+			dt := tr[j].T - tr[j-1].T
+			if dt <= 0 {
+				continue // Validate rejects these; stay safe regardless
+			}
+			if v := tr[j].P.Dist(tr[j-1].P) / dt; v > top {
+				top = v
+			}
+		}
+	}
+	return top
 }
 
 // MACConfig returns the MAC configuration for the scenario.
@@ -141,14 +220,28 @@ type TrafficItem struct {
 // message per second network-wide) so that a prefix of the schedule — the
 // paper's 400/600/890/1180-message runs — still spreads load evenly.
 func PaperTraffic(count int) []TrafficItem {
-	const sources = 45
+	return PaperTrafficN(46, count)
+}
+
+// PaperTrafficN is PaperTraffic generalized to networks smaller than the
+// paper's: the round-robin source set shrinks from 45 to n when n cannot
+// host it, preserving the pattern's shape (every source sends to every
+// other source in turn, one message per second network-wide).
+func PaperTrafficN(n, count int) []TrafficItem {
+	sources := 45
+	if n < sources {
+		sources = n
+	}
+	if sources < 2 {
+		return nil
+	}
 	if count > sources*(sources-1) {
 		count = sources * (sources - 1)
 	}
 	items := make([]TrafficItem, 0, count)
 	for k := 0; len(items) < count; k++ {
 		src := k % sources
-		round := k / sources // 0..43: index into src's destination list
+		round := k / sources // index into src's destination list
 		if round >= sources-1 {
 			break
 		}
@@ -173,6 +266,43 @@ func UniformTraffic(n, count int, rate float64, seed int64) []TrafficItem {
 		if dst >= src {
 			dst++
 		}
+		items[i] = TrafficItem{Src: src, Dst: dst, At: float64(i) / rate}
+	}
+	return items
+}
+
+// PoissonTraffic generates count messages between uniformly random
+// distinct pairs whose arrivals form a Poisson process of the given rate
+// (messages/second): inter-arrival gaps are exponential with mean
+// 1/rate, deterministically from the seed.
+func PoissonTraffic(n, count int, rate float64, seed int64) []TrafficItem {
+	rng := newRand(seed)
+	items := make([]TrafficItem, count)
+	at := 0.0
+	for i := range items {
+		at += rng.ExpFloat64() / rate
+		src := rng.Intn(n)
+		dst := rng.Intn(n - 1)
+		if dst >= src {
+			dst++
+		}
+		items[i] = TrafficItem{Src: src, Dst: dst, At: at}
+	}
+	return items
+}
+
+// HotspotTraffic generates count messages at the given rate
+// (messages/second) whose destinations concentrate on the first sinks
+// node ids — the "everyone reports to a few collection points" workload
+// — with sources uniform over the remaining nodes. Like the other
+// generators it assumes a valid shape: 1 ≤ sinks ≤ n-1 (callers
+// validate; the public glr.HotspotWorkload rejects anything else).
+func HotspotTraffic(n, count, sinks int, rate float64, seed int64) []TrafficItem {
+	rng := newRand(seed)
+	items := make([]TrafficItem, count)
+	for i := range items {
+		dst := rng.Intn(sinks)
+		src := sinks + rng.Intn(n-sinks)
 		items[i] = TrafficItem{Src: src, Dst: dst, At: float64(i) / rate}
 	}
 	return items

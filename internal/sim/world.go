@@ -94,9 +94,11 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 	if !macCfg.DisableSpatialIndex && macCfg.IndexSlack == 0 {
 		// The medium's radio index is refreshed once per beacon
 		// interval (see scheduleReindex), so cached cells can be stale
-		// by up to MaxSpeed × BeaconInterval metres of movement; widen
-		// index queries by that drift bound plus a safety metre.
-		macCfg.IndexSlack = cfg.MaxSpeed*cfg.BeaconInterval + 1
+		// by up to top-speed × BeaconInterval metres of movement; widen
+		// index queries by that drift bound plus a safety metre. The
+		// top speed comes from the mobility model — for traces it is
+		// the fastest scripted segment, which MaxSpeed does not bound.
+		macCfg.IndexSlack = cfg.maxDriftSpeed()*cfg.BeaconInterval + 1
 	}
 	var err error
 	w.medium, err = mac.NewMedium(w.sched, macCfg, cfg.Seed^0x5eed)
@@ -209,6 +211,31 @@ func (w *World) buildMobility() ([]mobility.Model, error) {
 		}, cfg.Seed*31+17)
 	case MobilityStatic:
 		return mobility.UniformStatic(cfg.N, cfg.Region, newRand(cfg.Seed*31+17)), nil
+	case MobilityRandomWalk:
+		models := make([]mobility.Model, cfg.N)
+		for i := range models {
+			m, err := mobility.NewRandomWalk(mobility.RandomWalkConfig{
+				Region:   cfg.Region,
+				MinSpeed: cfg.MinSpeed,
+				MaxSpeed: cfg.MaxSpeed,
+				LegTime:  cfg.WalkLegTime,
+			}, cfg.Seed*31+17+int64(i)*7919)
+			if err != nil {
+				return nil, err
+			}
+			models[i] = m
+		}
+		return models, nil
+	case MobilityTrace:
+		models := make([]mobility.Model, cfg.N)
+		for i := range models {
+			m, err := mobility.NewTrace(cfg.Traces[i])
+			if err != nil {
+				return nil, fmt.Errorf("sim: node %d: %w", i, err)
+			}
+			models[i] = m
+		}
+		return models, nil
 	default:
 		return nil, fmt.Errorf("sim: unknown mobility kind %d", cfg.Mobility)
 	}

@@ -1,0 +1,170 @@
+package glr
+
+import (
+	"testing"
+)
+
+// TestObserverDoesNotPerturbRun: observation is read-only — the same
+// scenario with and without observers must produce identical Results.
+func TestObserverDoesNotPerturbRun(t *testing.T) {
+	opts := []Option{
+		WithNodes(25),
+		WithRange(180),
+		WithWorkload(PaperWorkload{Messages: 15}),
+		WithSimTime(150),
+		WithSeed(11),
+	}
+	plain, err := NewScenario(opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := 0
+	samples := 0
+	observed, err := NewScenario(append(opts,
+		WithObserver(&Observer{
+			OnGenerated: func(MessageEvent) { events++ },
+			OnDelivered: func(DeliveryEvent) { events++ },
+			SampleEvery: 10,
+			OnSample:    func(Sample) { samples++ },
+		}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := plain.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := observed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("observed run diverged from plain run:\nplain:    %+v\nobserved: %+v", a, b)
+	}
+	if events == 0 || samples == 0 {
+		t.Errorf("observer saw %d events, %d samples; want both > 0", events, samples)
+	}
+}
+
+// TestObserverEventAccounting: the event stream must reconcile exactly
+// with the final Result, and the periodic time series must be coherent.
+func TestObserverEventAccounting(t *testing.T) {
+	var (
+		generated  int
+		delivered  int
+		duplicates int
+		badLatency int
+		samples    []Sample
+	)
+	sc, err := NewScenario(
+		WithNodes(30),
+		WithRange(220),
+		WithWorkload(UniformWorkload{Messages: 20, Rate: 1}),
+		WithSimTime(160),
+		WithSeed(3),
+		WithObserver(&Observer{
+			OnGenerated: func(e MessageEvent) {
+				generated++
+				if e.At < 0 {
+					t.Errorf("generation at negative time %v", e.At)
+				}
+			},
+			OnDelivered: func(e DeliveryEvent) {
+				if e.Duplicate {
+					duplicates++
+				} else {
+					delivered++
+				}
+				if e.Latency() < 0 {
+					badLatency++
+				}
+			},
+			SampleEvery: 20,
+			OnSample:    func(s Sample) { samples = append(samples, s) },
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if generated != res.Generated {
+		t.Errorf("observer saw %d generations, Result says %d", generated, res.Generated)
+	}
+	if delivered != res.Delivered {
+		t.Errorf("observer saw %d first deliveries, Result says %d", delivered, res.Delivered)
+	}
+	if duplicates != res.Duplicates {
+		t.Errorf("observer saw %d duplicates, Result says %d", duplicates, res.Duplicates)
+	}
+	if badLatency > 0 {
+		t.Errorf("%d deliveries with negative latency", badLatency)
+	}
+
+	if len(samples) == 0 {
+		t.Fatal("no periodic samples")
+	}
+	prev := Sample{}
+	for i, s := range samples {
+		if s.Time <= prev.Time {
+			t.Errorf("sample %d time %v not increasing", i, s.Time)
+		}
+		if s.Generated < prev.Generated || s.Delivered < prev.Delivered ||
+			s.ControlFrames < prev.ControlFrames || s.DataFrames < prev.DataFrames {
+			t.Errorf("sample %d cumulative counters decreased: %+v after %+v", i, s, prev)
+		}
+		if s.BufferMax > s.BufferTotal {
+			t.Errorf("sample %d: BufferMax %d exceeds BufferTotal %d", i, s.BufferMax, s.BufferTotal)
+		}
+		prev = s
+	}
+	last := samples[len(samples)-1]
+	if last.Generated != res.Generated {
+		t.Errorf("final sample generated %d, Result %d", last.Generated, res.Generated)
+	}
+	if last.Delivered > res.Delivered {
+		t.Errorf("final sample delivered %d exceeds Result %d", last.Delivered, res.Delivered)
+	}
+}
+
+// TestMultipleObservers: observers attach independently and all fire.
+func TestMultipleObservers(t *testing.T) {
+	var a, b int
+	sc, err := NewScenario(
+		WithNodes(20),
+		WithRange(250),
+		WithWorkload(PaperWorkload{Messages: 10}),
+		WithSimTime(120),
+		WithObserver(&Observer{OnDelivered: func(DeliveryEvent) { a++ }}),
+		WithObserver(&Observer{OnDelivered: func(DeliveryEvent) { b++ }}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a == 0 || a != b {
+		t.Errorf("observer counts diverged: %d vs %d", a, b)
+	}
+}
+
+// TestObserverValidation: malformed observers are rejected at
+// construction.
+func TestObserverValidation(t *testing.T) {
+	if _, err := NewScenario(WithObserver(nil)); err == nil {
+		t.Error("nil observer accepted")
+	}
+	if _, err := NewScenario(WithObserver(&Observer{SampleEvery: -1})); err == nil {
+		t.Error("negative sample interval accepted")
+	}
+	if _, err := NewScenario(WithObserver(&Observer{SampleEvery: 5})); err == nil {
+		t.Error("SampleEvery without OnSample accepted")
+	}
+	if _, err := NewScenario(WithObserver(&Observer{OnSample: func(Sample) {}})); err == nil {
+		t.Error("OnSample without SampleEvery accepted (silent no-op)")
+	}
+}
