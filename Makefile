@@ -15,7 +15,7 @@ BENCH_GATE_PATTERN := BenchmarkSpanner|BenchmarkDelaunay|BenchmarkMedium|Benchma
 BENCH_GATE_PKGS := . ./internal/geom ./internal/ldt ./internal/mac ./internal/dtn ./internal/sim
 BENCH_GATE_FLAGS := -benchmem -count 5 -benchtime 0.3s -run '^$$'
 
-.PHONY: build test test-short bench bench-gate bench-baseline api api-check fmt vet ci
+.PHONY: build test test-short bench bench-gate bench-baseline api api-check doc-check atlas atlas-check atlas-golden fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,37 @@ api-check:
 		exit 1; \
 	fi; rm -f .api-current.txt
 
+## doc-check is the godoc audit: every exported identifier in the root
+## package and internal/matrix must carry a doc comment (vet-style
+## diagnostics, non-zero exit on omissions).
+doc-check:
+	$(GO) run ./cmd/doccheck . internal/matrix
+
+## atlas (re)builds the committed regime-map atlas: executes the
+## declared scenario matrix against the result cache in
+## docs/atlas-cache/ (only cells without a valid cache entry compute),
+## checks the paper-figure slice against ci/atlas_golden.json, and
+## renders docs/ATLAS.md + docs/atlas.json. With a warm cache this is
+## pure rendering and byte-identical to the run that computed the cells.
+atlas:
+	$(GO) run ./cmd/glratlas -v
+
+## atlas-check is the CI job: regenerate the atlas from the committed
+## cache and fail on any byte drift of the committed artifacts, then
+## compute a small uncached slice end to end (driver + cache + renderer
+## smoke, ≤2 min).
+atlas-check:
+	$(GO) run ./cmd/glratlas
+	git diff --exit-code -- docs/ATLAS.md docs/atlas.json docs/atlas-cache ci/atlas_golden.json
+	$(GO) run ./cmd/glratlas -short -cache $(or $(TMPDIR),/tmp)/glr-atlas-short-cache -out $(or $(TMPDIR),/tmp)/glr-atlas-short
+
+## atlas-golden re-pins ci/atlas_golden.json from the current atlas.
+## Run it — and commit the diff — only when the paper-figure numbers
+## move intentionally (bump internal/matrix.Version alongside semantic
+## simulation changes so stale cache cells recompute).
+atlas-golden:
+	$(GO) run ./cmd/glratlas -write-golden
+
 fmt:
 	$(GO) fmt ./...
 
@@ -77,11 +108,14 @@ vet:
 	$(GO) vet ./...
 
 ## ci is the whole pipeline: build, formatting gate, vet, API-surface
-## gate, short tests, and the benchmark-regression gate.
+## gate, godoc audit, short tests, the atlas gate, and the
+## benchmark-regression gate.
 ci: build
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; fi
 	$(GO) vet ./...
 	$(MAKE) api-check
+	$(MAKE) doc-check
 	$(GO) test -race -short ./...
+	$(MAKE) atlas-check
 	$(MAKE) bench-gate

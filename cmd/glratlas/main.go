@@ -1,0 +1,109 @@
+// Command glratlas builds the committed scenario atlas: it executes the
+// declared scenario matrix (internal/matrix.DefaultSections) against the
+// on-disk result cache, recomputing only cells without a valid cache
+// entry, then renders docs/ATLAS.md and docs/atlas.json and checks the
+// paper-figure slice against ci/atlas_golden.json.
+//
+// Usage:
+//
+//	glratlas [-cache dir] [-out dir] [-golden file] [-write-golden]
+//	         [-short] [-workers n] [-v]
+//
+// With a warm cache the whole invocation is pure rendering and completes
+// in well under a second; the rendered artifacts are byte-identical to
+// the run that computed the cells. Exit status is non-zero on any error,
+// including a golden mismatch.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"glr/internal/matrix"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "glratlas:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		cacheDir    = flag.String("cache", filepath.Join("docs", "atlas-cache"), "result cache directory (empty disables caching)")
+		outDir      = flag.String("out", "docs", "output directory for ATLAS.md and atlas.json")
+		goldenPath  = flag.String("golden", filepath.Join("ci", "atlas_golden.json"), "golden file for the paper-figure slice (empty skips the check)")
+		writeGolden = flag.Bool("write-golden", false, "rewrite the golden file from this run instead of checking against it")
+		short       = flag.Bool("short", false, "build the small CI smoke slice instead of the full atlas")
+		workers     = flag.Int("workers", 0, "concurrent replications (0 = GOMAXPROCS)")
+		verbose     = flag.Bool("v", false, "log per-run progress")
+	)
+	flag.Parse()
+
+	sections := matrix.DefaultSections()
+	if *short {
+		sections = matrix.ShortSections()
+	}
+	d := &matrix.Driver{Cache: *cacheDir, Workers: *workers}
+	if *verbose {
+		d.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	atlas, err := d.Run(context.Background(), sections)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("atlas %s: %d cell(s) from cache, %d computed\n", atlas.Version, atlas.CacheHits, atlas.Computed)
+
+	var golden *matrix.Golden
+	switch {
+	case *short:
+		// The smoke slice has no pinned section; golden handling is a
+		// no-op so CI can run it with default flags.
+	case *writeGolden:
+		golden, err = matrix.GoldenFromAtlas(atlas, matrix.GoldenSection)
+		if err != nil {
+			return err
+		}
+		if err := matrix.WriteGolden(*goldenPath, golden); err != nil {
+			return err
+		}
+		fmt.Printf("wrote golden %s (%d cell(s))\n", *goldenPath, len(golden.Cells))
+	case *goldenPath != "":
+		golden, err = matrix.ReadGolden(*goldenPath)
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("golden %s missing; bootstrap it with -write-golden", *goldenPath)
+		}
+		if err != nil {
+			return err
+		}
+		if err := golden.Check(atlas); err != nil {
+			return err
+		}
+		fmt.Printf("golden check passed (%d cell(s) within CI bounds)\n", len(golden.Cells))
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	mdPath := filepath.Join(*outDir, "ATLAS.md")
+	if err := os.WriteFile(mdPath, []byte(atlas.Markdown(golden)), 0o644); err != nil {
+		return err
+	}
+	raw, err := atlas.JSON()
+	if err != nil {
+		return err
+	}
+	jsonPath := filepath.Join(*outDir, "atlas.json")
+	if err := os.WriteFile(jsonPath, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("rendered %s and %s\n", mdPath, jsonPath)
+	return nil
+}

@@ -184,6 +184,10 @@ const (
 // produces byte-identical results. New code should use NewScenario,
 // which also reaches the mobility models, workloads, observers, and the
 // parallel Runner that Config cannot express.
+//
+// Deprecated: use NewScenario with functional options; see
+// docs/MIGRATION.md for the field-by-field mapping. Config stays
+// supported (and byte-identical) for existing callers.
 type Config struct {
 	// Protocol to run (default GLR).
 	Protocol Protocol
@@ -320,6 +324,8 @@ func resultFromReport(rep metrics.Report) Result {
 // scenario builder: it is exactly cfg.Scenario() followed by
 // Scenario.Run, with byte-identical results. New code should use
 // NewScenario.
+//
+// Deprecated: use NewScenario(...).Run(); see docs/MIGRATION.md.
 func Run(cfg Config) (Result, error) {
 	sc, err := cfg.Scenario()
 	if err != nil {
@@ -333,6 +339,9 @@ func Run(cfg Config) (Result, error) {
 // Like Run, Compare is a thin adapter over the scenario builder; for
 // multi-seed comparisons with confidence intervals and a worker pool,
 // use Runner.Compare.
+//
+// Deprecated: use Runner.Compare, or two NewScenario runs differing
+// only in WithGLR/WithEpidemic; see docs/MIGRATION.md.
 func Compare(cfg Config) (glrRes, epidemicRes Result, err error) {
 	cfg.Protocol = GLR
 	glrRes, err = Run(cfg)

@@ -207,10 +207,28 @@ func (e *Epidemic) Init(n *sim.Node) {
 
 // retrySweep re-requests transfers that timed out, in one batch per
 // advertiser, then reschedules itself.
+//
+// Both sweeps iterate in sorted order, never raw map order: which ids
+// land in a MaxBatch-bounded batch and the order request frames hit the
+// medium must not depend on map iteration, or identical seeded runs
+// stop being byte-identical (the determinism the result cache and the
+// committed atlas rely on).
 func (e *Epidemic) retrySweep(interval float64) {
 	now := e.n.Now()
+	ids := make([]dtn.MessageID, 0, len(e.wants))
+	for id := range e.wants {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Src != ids[j].Src {
+			return ids[i].Src < ids[j].Src
+		}
+		return ids[i].Seq < ids[j].Seq
+	})
 	perPeer := make(map[int][]dtn.MessageID)
-	for id, w := range e.wants {
+	var peers []int
+	for _, id := range ids {
+		w := e.wants[id]
 		if e.buf.Has(id) {
 			delete(e.wants, id)
 			continue
@@ -232,16 +250,16 @@ func (e *Epidemic) retrySweep(interval float64) {
 		}
 		w.at = now
 		w.tries++
+		if len(perPeer[w.peer]) == 0 {
+			peers = append(peers, w.peer)
+		}
 		perPeer[w.peer] = append(perPeer[w.peer], id)
 	}
-	for peer, ids := range perPeer {
-		sort.Slice(ids, func(i, j int) bool {
-			if ids[i].Src != ids[j].Src {
-				return ids[i].Src < ids[j].Src
-			}
-			return ids[i].Seq < ids[j].Seq
-		})
-		e.n.Unicast(peer, sim.KindControl, reqFrame{Wanted: ids}, e.svBits(len(ids)), nil)
+	sort.Ints(peers)
+	for _, peer := range peers {
+		// Per-peer batches inherit the sorted (Src, Seq) sweep order.
+		batch := perPeer[peer]
+		e.n.Unicast(peer, sim.KindControl, reqFrame{Wanted: batch}, e.svBits(len(batch)), nil)
 	}
 	e.drainBacklogs(now, perPeer)
 	e.n.After(interval, func() { e.retrySweep(interval) })
@@ -252,7 +270,12 @@ func (e *Epidemic) retrySweep(interval float64) {
 // current wants toward it are settled, re-open the session so the next
 // batch flows. Rate-limited by ExchangeInterval.
 func (e *Epidemic) drainBacklogs(now float64, outstanding map[int][]dtn.MessageID) {
+	peers := make([]int, 0, len(e.backlog))
 	for peer := range e.backlog {
+		peers = append(peers, peer)
+	}
+	sort.Ints(peers)
+	for _, peer := range peers {
 		if heard, ok := e.lastHeard[peer]; !ok || now-heard > e.cfg.ContactGap {
 			delete(e.backlog, peer) // contact gone; a new contact restarts
 			continue

@@ -161,7 +161,7 @@ func (o Options) replicate(spec runSpec) ([]metrics.Report, error) {
 	if o.Parallel {
 		workers = 0 // runner.Run: GOMAXPROCS
 	}
-	jobs := make([]runner.Job, o.Runs)
+	jobs := make([]runner.Job[metrics.Report], o.Runs)
 	for r := 0; r < o.Runs; r++ {
 		s := spec
 		s.scenario.Seed = o.BaseSeed + int64(r)

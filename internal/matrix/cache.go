@@ -1,0 +1,129 @@
+package matrix
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"glr"
+)
+
+// cellKey content-addresses one cell's replication sweep: the SHA-256 of
+// the canonical JSON of (module version, cell spec, seed range). Any
+// perturbation — an axis value, the message count or horizon baked into
+// the cell, the base seed or replication count, or a Version bump when
+// simulation semantics change — produces a different key, so a cache
+// can never serve results for a scenario other than the one requested.
+func cellKey(version string, c glr.Cell, baseSeed int64, runs int) string {
+	payload, err := json.Marshal(struct {
+		Version  string
+		Cell     glr.Cell
+		BaseSeed int64
+		Runs     int
+	}{version, c, baseSeed, runs})
+	if err != nil {
+		// A Cell is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("matrix: marshal cell key: %v", err))
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// cacheEntry is the on-disk record of one computed cell: the full spec
+// it answers for (so hits can be verified, not trusted), the per-seed
+// results and time series, and a checksum over the payload.
+type cacheEntry struct {
+	Key      string
+	Version  string
+	Cell     glr.Cell
+	BaseSeed int64
+	Runs     int
+	Results  []glr.Result
+	Series   Series
+	Checksum string
+}
+
+// checksum hashes the entry's payload (everything but the Checksum
+// field itself).
+func (e cacheEntry) checksum() string {
+	e.Checksum = ""
+	payload, err := json.Marshal(e)
+	if err != nil {
+		panic(fmt.Sprintf("matrix: marshal cache entry: %v", err))
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// cachePath places an entry inside dir, named by a prefix of its key.
+func cachePath(dir, key string) string {
+	return filepath.Join(dir, key[:16]+".json")
+}
+
+// loadCell returns the cached entry for key, or false on any miss: no
+// file, unreadable JSON, a spec that keys to something other than key
+// (tampered or stale contents), a checksum mismatch (corruption), or a
+// result count that disagrees with the recorded seed range. Corrupt
+// entries are reported as misses so the driver recomputes them; they
+// are never trusted.
+func loadCell(dir, key string) (cacheEntry, bool) {
+	raw, err := os.ReadFile(cachePath(dir, key))
+	if err != nil {
+		return cacheEntry{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(raw, &e); err != nil {
+		return cacheEntry{}, false
+	}
+	if e.Key != key {
+		return cacheEntry{}, false
+	}
+	// Re-derive the key from the stored spec: the entry must answer for
+	// exactly the requested scenario, not merely claim the right key.
+	if cellKey(e.Version, e.Cell, e.BaseSeed, e.Runs) != key {
+		return cacheEntry{}, false
+	}
+	if e.Checksum != e.checksum() {
+		return cacheEntry{}, false
+	}
+	if len(e.Results) != e.Runs || len(e.Series.Delivery) != e.Runs {
+		return cacheEntry{}, false
+	}
+	return e, true
+}
+
+// storeCell persists an entry atomically (write-temp + rename), filling
+// in its checksum.
+func storeCell(dir string, e cacheEntry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("matrix: create cache dir: %w", err)
+	}
+	e.Checksum = e.checksum()
+	raw, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("matrix: marshal cache entry: %w", err)
+	}
+	raw = append(raw, '\n')
+	path := cachePath(dir, e.Key)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("matrix: write cache entry: %w", err)
+	}
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("matrix: write cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("matrix: write cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("matrix: write cache entry: %w", err)
+	}
+	return nil
+}

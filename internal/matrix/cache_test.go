@@ -1,0 +1,280 @@
+package matrix
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"glr"
+)
+
+// tinyMatrix is a single-cell, two-seed matrix small enough to simulate
+// in a few milliseconds.
+func tinyMatrix() glr.Matrix {
+	return glr.Matrix{
+		Protocols:     []glr.Protocol{glr.GLR},
+		Mobilities:    []glr.MobilityKind{glr.MobilityWaypoint},
+		Workloads:     []glr.WorkloadKind{glr.WorkloadUniform},
+		Nodes:         []int{10},
+		Ranges:        []float64{150},
+		StorageLimits: []int{0},
+		Messages:      6,
+		SimTime:       120,
+		Seeds:         2,
+	}
+}
+
+func tinySections() []Section {
+	return []Section{{Name: "tiny", Title: "Tiny", Matrix: tinyMatrix(), ChartX: "range", SeriesChart: true}}
+}
+
+func tinyCell(t *testing.T) glr.Cell {
+	t.Helper()
+	cells := tinyMatrix().Normalized().Cells()
+	if len(cells) != 1 {
+		t.Fatalf("tiny matrix has %d cells, want 1", len(cells))
+	}
+	return cells[0]
+}
+
+// TestCellKeyStable: identical specs key identically.
+func TestCellKeyStable(t *testing.T) {
+	c := tinyCell(t)
+	if cellKey(Version, c, 1, 2) != cellKey(Version, c, 1, 2) {
+		t.Fatal("identical specs produced different keys")
+	}
+}
+
+// TestCellKeyPerturbation: any axis value, seed-range, or version
+// perturbation changes the key.
+func TestCellKeyPerturbation(t *testing.T) {
+	base := tinyCell(t)
+	ref := cellKey(Version, base, 1, 2)
+	perturb := map[string]func() string{
+		"protocol": func() string { c := base; c.Protocol = glr.Epidemic; return cellKey(Version, c, 1, 2) },
+		"mobility": func() string { c := base; c.Mobility = glr.MobilityStatic; return cellKey(Version, c, 1, 2) },
+		"workload": func() string { c := base; c.Workload = glr.WorkloadPoisson; return cellKey(Version, c, 1, 2) },
+		"nodes":    func() string { c := base; c.Nodes++; return cellKey(Version, c, 1, 2) },
+		"range":    func() string { c := base; c.Range += 10; return cellKey(Version, c, 1, 2) },
+		"storage":  func() string { c := base; c.StorageLimit = 5; return cellKey(Version, c, 1, 2) },
+		"messages": func() string { c := base; c.Messages++; return cellKey(Version, c, 1, 2) },
+		"simtime":  func() string { c := base; c.SimTime += 1; return cellKey(Version, c, 1, 2) },
+		"baseSeed": func() string { return cellKey(Version, base, 2, 2) },
+		"runs":     func() string { return cellKey(Version, base, 1, 3) },
+		"version":  func() string { return cellKey(Version+"-bumped", base, 1, 2) },
+	}
+	for name, f := range perturb {
+		if f() == ref {
+			t.Errorf("perturbing %s did not change the cache key", name)
+		}
+	}
+}
+
+// TestDriverCacheRoundTrip: a second run over the same cache serves
+// every cell from disk and reproduces the computed atlas exactly.
+func TestDriverCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d := &Driver{Cache: dir, Workers: 1}
+	cold, err := d.Run(context.Background(), tinySections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Computed != 1 || cold.CacheHits != 0 {
+		t.Fatalf("cold run: computed %d, hits %d", cold.Computed, cold.CacheHits)
+	}
+	warm, err := d.Run(context.Background(), tinySections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Computed != 0 || warm.CacheHits != 1 {
+		t.Fatalf("warm run: computed %d, hits %d", warm.Computed, warm.CacheHits)
+	}
+	if !reflect.DeepEqual(cold.Sections[0].Cells[0].Results, warm.Sections[0].Cells[0].Results) {
+		t.Fatal("cached results differ from computed results")
+	}
+	coldMD, warmMD := cold.Markdown(nil), warm.Markdown(nil)
+	if coldMD != warmMD {
+		t.Fatal("cached ATLAS.md render differs from computed render")
+	}
+	coldJSON, err := cold.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmJSON, err := warm.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(coldJSON) != string(warmJSON) {
+		t.Fatal("cached atlas.json differs from computed atlas.json")
+	}
+}
+
+// TestDriverVersionBumpMisses: a semantic version bump invalidates
+// every previously cached cell.
+func TestDriverVersionBumpMisses(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := (&Driver{Cache: dir, Workers: 1}).Run(context.Background(), tinySections()); err != nil {
+		t.Fatal(err)
+	}
+	bumped, err := (&Driver{Cache: dir, Workers: 1, Version: Version + "-v2"}).Run(context.Background(), tinySections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bumped.CacheHits != 0 || bumped.Computed != 1 {
+		t.Fatalf("version bump: computed %d, hits %d; want recompute", bumped.Computed, bumped.CacheHits)
+	}
+}
+
+// TestDriverSeedPerturbationMisses: changing the seed range misses the
+// cache even though the cell spec is unchanged.
+func TestDriverSeedPerturbationMisses(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := (&Driver{Cache: dir, Workers: 1}).Run(context.Background(), tinySections()); err != nil {
+		t.Fatal(err)
+	}
+	secs := tinySections()
+	secs[0].Matrix.BaseSeed = 7
+	moved, err := (&Driver{Cache: dir, Workers: 1}).Run(context.Background(), secs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved.CacheHits != 0 || moved.Computed != 1 {
+		t.Fatalf("seed move: computed %d, hits %d; want recompute", moved.Computed, moved.CacheHits)
+	}
+}
+
+// cacheFile returns the single entry file of a cache dir.
+func cacheFile(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("cache dir: %v, %v", entries, err)
+	}
+	return entries[0]
+}
+
+// TestCorruptedEntryRecomputed: a corrupted cache entry is treated as a
+// miss — recomputed and rewritten — never trusted.
+func TestCorruptedEntryRecomputed(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"truncated":  func(b []byte) []byte { return b[:len(b)/2] },
+		"not-json":   func([]byte) []byte { return []byte("not json at all\n") },
+		"bit-flip":   func(b []byte) []byte { b[len(b)/2] ^= 0x20; return b },
+		"result-dig": func(b []byte) []byte { return []byte(strings.Replace(string(b), `"Delivered":`, `"Delivered": 9`, 1)) },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			d := &Driver{Cache: dir, Workers: 1}
+			if _, err := d.Run(context.Background(), tinySections()); err != nil {
+				t.Fatal(err)
+			}
+			path := cacheFile(t, dir)
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			orig := append([]byte(nil), raw...)
+			if err := os.WriteFile(path, corrupt(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			again, err := d.Run(context.Background(), tinySections())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.CacheHits != 0 || again.Computed != 1 {
+				t.Fatalf("corrupted entry served: computed %d, hits %d", again.Computed, again.CacheHits)
+			}
+			// The recompute must also repair the entry on disk.
+			healed, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(healed) != string(orig) {
+				t.Fatal("recomputed entry does not match the original (determinism broken)")
+			}
+		})
+	}
+}
+
+// TestMislabeledEntryMisses: an entry whose contents answer for a
+// different spec than its filename claims is rejected.
+func TestMislabeledEntryMisses(t *testing.T) {
+	dir := t.TempDir()
+	d := &Driver{Cache: dir, Workers: 1}
+	if _, err := d.Run(context.Background(), tinySections()); err != nil {
+		t.Fatal(err)
+	}
+	src := cacheFile(t, dir)
+	raw, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Install the entry under the key of a different spec.
+	other := tinyCell(t)
+	other.Nodes++
+	otherKey := cellKey(Version, other, 1, 2)
+	if err := os.WriteFile(cachePath(dir, otherKey), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loadCell(dir, otherKey); ok {
+		t.Fatal("cache served an entry recorded for a different spec")
+	}
+}
+
+// TestGoldenRoundTrip: a golden extracted from an atlas passes against
+// it, survives a file round trip, and fails once the atlas drifts.
+func TestGoldenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	atlas, err := (&Driver{Cache: dir, Workers: 1}).Run(context.Background(), tinySections())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := GoldenFromAtlas(atlas, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := WriteGolden(path, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Check(atlas); err != nil {
+		t.Fatalf("golden self-check failed: %v", err)
+	}
+	drift := *loaded
+	drift.Cells = append([]GoldenCell(nil), loaded.Cells...)
+	drift.Cells[0].Mean += drift.Cells[0].HalfWidth + 0.05
+	if err := drift.Check(atlas); err == nil {
+		t.Fatal("golden check passed despite drift beyond CI bounds")
+	}
+	missing := *loaded
+	missing.Cells = append([]GoldenCell(nil), loaded.Cells...)
+	missing.Cells[0].Label = "no/such/cell"
+	if err := missing.Check(atlas); err == nil {
+		t.Fatal("golden check passed with a pinned cell absent from the atlas")
+	}
+}
+
+// TestMeanCurve: pointwise mean over the shortest common length, times
+// on the shared sampling grid.
+func TestMeanCurve(t *testing.T) {
+	s := Series{Every: 5, Delivery: [][]float64{{0.2, 0.4, 0.6}, {0.4, 0.6}}}
+	times, means := s.MeanCurve()
+	if len(times) != 2 || len(means) != 2 {
+		t.Fatalf("curve lengths: %d, %d", len(times), len(means))
+	}
+	if times[0] != 5 || times[1] != 10 {
+		t.Fatalf("times = %v", times)
+	}
+	if math.Abs(means[0]-0.3) > 1e-12 || math.Abs(means[1]-0.5) > 1e-12 {
+		t.Fatalf("means = %v", means)
+	}
+}

@@ -1,0 +1,353 @@
+// Package matrix is the scenario-matrix driver behind cmd/glratlas: it
+// executes the cross-product of scenario axes a glr.Matrix describes —
+// protocol × mobility × workload × node count × transmission range ×
+// storage limit — with multi-seed replication, collects each run's
+// final metrics plus an observer time series, and aggregates mean ±
+// Student-t confidence half-width per cell.
+//
+// The driver is resumable: every cell's replication sweep is
+// content-addressed by the SHA-256 of its canonicalized spec (cell +
+// seed range + atlas Version), and results are persisted in an on-disk
+// cache keyed by that hash. A re-run recomputes only cells whose key
+// has no valid cache entry — a new axis value, a different seed range,
+// a Version bump, or a corrupted entry — so a large atlas accumulates
+// incrementally across CI runs instead of being recomputed from
+// scratch.
+//
+// The output layer renders the accumulated results as a regime-map
+// atlas: docs/ATLAS.md (per-cell winners with confidence intervals and
+// ASCII trend plots) and the machine-readable docs/atlas.json. One
+// declared section reproduces the paper's delivery-vs-density figure
+// and is diffed against committed golden numbers.
+package matrix
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"glr"
+	"glr/internal/runner"
+	"glr/internal/stats"
+)
+
+// Version namespaces every cache key. Bump it whenever simulation
+// semantics change in a way that invalidates previously computed
+// results (protocol behavior, metric definitions, workload schedules);
+// every cell then misses and recomputes under the new version.
+const Version = "glr-atlas-v1"
+
+// confidence is the two-sided confidence level for per-cell aggregates
+// (the paper's 90%). It is fixed so committed atlas artifacts are
+// reproducible byte for byte.
+const confidence = 0.90
+
+// seriesPoints is the number of periodic delivery-ratio samples
+// collected per run: each run is observed every SimTime/seriesPoints
+// simulated seconds, so every seed of a cell samples on an identical
+// grid.
+const seriesPoints = 24
+
+// Section is one named sub-matrix of an atlas: a title and prose note
+// for the rendered document, the matrix to sweep, and rendering hints.
+type Section struct {
+	// Name is a stable slug identifying the section (golden files pin
+	// sections by it).
+	Name string
+	// Title heads the section in ATLAS.md.
+	Title string
+	// Note is an optional prose paragraph rendered under the title.
+	Note string
+	// Matrix is the scenario cross-product to execute.
+	Matrix glr.Matrix
+	// ChartX, when set to the name of a numeric axis ("nodes", "range",
+	// or "storage"), renders an ASCII trend plot of mean delivery ratio
+	// against that axis, one series per protocol, with the remaining
+	// coordinate axes pinned at their first values.
+	ChartX string
+	// SeriesChart renders an ASCII plot of the mean delivery-ratio time
+	// series at the section's first coordinate, one series per
+	// protocol.
+	SeriesChart bool
+}
+
+// Driver executes sections against the result cache.
+type Driver struct {
+	// Cache is the on-disk result cache directory; empty disables
+	// caching (every cell recomputes).
+	Cache string
+	// Workers bounds concurrent replications (0 = GOMAXPROCS).
+	Workers int
+	// Version overrides the cache namespace (default the package
+	// Version; tests use it to model semantic bumps).
+	Version string
+	// Progress, when non-nil, receives one line per completed run and
+	// per section summary.
+	Progress func(format string, args ...any)
+}
+
+// Series is the per-cell observer time series: every seed's periodic
+// delivery-ratio samples, observed every Every simulated seconds
+// (first sample at Every).
+type Series struct {
+	Every    float64
+	Delivery [][]float64 // [seed][sample]
+}
+
+// MeanCurve averages the per-seed series pointwise, over the shortest
+// common length.
+func (s Series) MeanCurve() (times, means []float64) {
+	if len(s.Delivery) == 0 {
+		return nil, nil
+	}
+	n := len(s.Delivery[0])
+	for _, d := range s.Delivery[1:] {
+		if len(d) < n {
+			n = len(d)
+		}
+	}
+	times = make([]float64, n)
+	means = make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for _, d := range s.Delivery {
+			sum += d[i]
+		}
+		times[i] = float64(i+1) * s.Every
+		means[i] = sum / float64(len(s.Delivery))
+	}
+	return times, means
+}
+
+// Agg is one cell's replication aggregate: mean ± confidence half-width
+// for every headline metric, plus total frames (control + data + acks)
+// as the overhead measure.
+type Agg struct {
+	DeliveryRatio  stats.MeanCI
+	AvgLatency     stats.MeanCI
+	AvgHops        stats.MeanCI
+	AvgPeakStorage stats.MeanCI
+	MaxPeakStorage stats.MeanCI
+	Duplicates     stats.MeanCI
+	Frames         stats.MeanCI
+}
+
+// aggregate folds per-seed results at the fixed confidence level.
+func aggregate(results []glr.Result) Agg {
+	pull := func(f func(glr.Result) float64) stats.MeanCI {
+		xs := make([]float64, len(results))
+		for i, r := range results {
+			xs[i] = f(r)
+		}
+		return stats.ConfidenceInterval(xs, confidence)
+	}
+	return Agg{
+		DeliveryRatio:  pull(func(r glr.Result) float64 { return r.DeliveryRatio }),
+		AvgLatency:     pull(func(r glr.Result) float64 { return r.AvgLatency }),
+		AvgHops:        pull(func(r glr.Result) float64 { return r.AvgHops }),
+		AvgPeakStorage: pull(func(r glr.Result) float64 { return r.AvgPeakStorage }),
+		MaxPeakStorage: pull(func(r glr.Result) float64 { return float64(r.MaxPeakStorage) }),
+		Duplicates:     pull(func(r glr.Result) float64 { return float64(r.Duplicates) }),
+		Frames: pull(func(r glr.Result) float64 {
+			return float64(r.ControlFrames + r.DataFrames + r.Acks)
+		}),
+	}
+}
+
+// CellResult is one cell's accumulated outcome: the spec, its cache
+// key, the per-seed results and time series, and the aggregate.
+type CellResult struct {
+	Cell    glr.Cell
+	Key     string
+	Seeds   []int64
+	Results []glr.Result
+	Series  Series
+	Agg     Agg
+	// Cached reports whether this run served the cell from the cache.
+	// It is runtime information, deliberately excluded from atlas.json
+	// so a fully cached regeneration is byte-identical to the run that
+	// computed the cells.
+	Cached bool `json:"-"`
+}
+
+// SectionResult is one executed section.
+type SectionResult struct {
+	Name     string
+	Title    string
+	Note     string `json:",omitempty"`
+	Axes     []glr.Axis
+	BaseSeed int64
+	Runs     int
+	Cells    []CellResult
+
+	chartX      string
+	seriesChart bool
+}
+
+// Atlas is the executed whole: every section's cells, ready for
+// rendering.
+type Atlas struct {
+	Version  string
+	Sections []SectionResult
+	// Computed and CacheHits count cells by provenance for this run
+	// (runtime information, excluded from atlas.json).
+	Computed  int `json:"-"`
+	CacheHits int `json:"-"`
+}
+
+// seedRange lists the seeds of a replication sweep: base..base+runs-1.
+func seedRange(base int64, runs int) []int64 {
+	seeds := make([]int64, runs)
+	for i := range seeds {
+		seeds[i] = base + int64(i)
+	}
+	return seeds
+}
+
+// seedOut is one replication's harvest.
+type seedOut struct {
+	res      glr.Result
+	delivery []float64
+}
+
+// pending identifies a cell awaiting computation.
+type pending struct {
+	section, cell int // indices into the atlas
+	spec          glr.Cell
+	key           string
+	baseSeed      int64
+	runs          int
+	every         float64
+	firstJob      int // index of the cell's first job in the pool
+}
+
+// Run executes the sections, serving every cell it can from the cache
+// and computing the rest across the worker pool, then persists newly
+// computed cells back to the cache. The returned atlas is fully
+// aggregated and deterministic: for fixed sections and version, a fully
+// cached run returns exactly what the computing run did.
+func (d *Driver) Run(ctx context.Context, sections []Section) (*Atlas, error) {
+	version := d.Version
+	if version == "" {
+		version = Version
+	}
+	atlas := &Atlas{Version: version}
+	var misses []pending
+	for si, sec := range sections {
+		m := sec.Matrix.Normalized()
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("matrix: section %q: %w", sec.Name, err)
+		}
+		cells := m.Cells()
+		sr := SectionResult{
+			Name:     sec.Name,
+			Title:    sec.Title,
+			Note:     sec.Note,
+			Axes:     m.Axes(),
+			BaseSeed: m.BaseSeed,
+			Runs:     m.Seeds,
+			Cells:    make([]CellResult, len(cells)),
+
+			chartX:      sec.ChartX,
+			seriesChart: sec.SeriesChart,
+		}
+		for ci, c := range cells {
+			key := cellKey(version, c, m.BaseSeed, m.Seeds)
+			cr := CellResult{Cell: c, Key: key, Seeds: seedRange(m.BaseSeed, m.Seeds)}
+			if d.Cache != "" {
+				if e, ok := loadCell(d.Cache, key); ok {
+					cr.Results, cr.Series, cr.Cached = e.Results, e.Series, true
+					atlas.CacheHits++
+				}
+			}
+			if !cr.Cached {
+				misses = append(misses, pending{
+					section: si, cell: ci,
+					spec: c, key: key,
+					baseSeed: m.BaseSeed, runs: m.Seeds,
+					every: c.SimTime / seriesPoints,
+				})
+			}
+			sr.Cells[ci] = cr
+		}
+		atlas.Sections = append(atlas.Sections, sr)
+	}
+
+	// One shared pool over every missing (cell, seed): a sweep with a
+	// few straggler cells still saturates the workers.
+	var jobs []runner.Job[seedOut]
+	for mi := range misses {
+		p := &misses[mi]
+		p.firstJob = len(jobs)
+		for _, seed := range seedRange(p.baseSeed, p.runs) {
+			spec, every, seed := p.spec, p.every, seed
+			jobs = append(jobs, func(ctx context.Context) (seedOut, error) {
+				var out seedOut
+				obs := &glr.Observer{
+					SampleEvery: every,
+					OnSample:    func(s glr.Sample) { out.delivery = append(out.delivery, s.DeliveryRatio) },
+				}
+				sc, err := spec.Scenario(glr.WithSeed(seed), glr.WithObserver(obs))
+				if err != nil {
+					return seedOut{}, fmt.Errorf("matrix: cell %s seed %d: %w", spec.Label(), seed, err)
+				}
+				res, err := sc.RunContext(ctx)
+				if err != nil {
+					return seedOut{}, fmt.Errorf("matrix: cell %s seed %d: %w", spec.Label(), seed, err)
+				}
+				out.res = res
+				return out, nil
+			})
+		}
+	}
+	d.progress("atlas: %d cell(s) cached, %d to compute (%d run(s))",
+		atlas.CacheHits, len(misses), len(jobs))
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	outs, err := runner.RunNotify(ctx, d.Workers, jobs, func(int) {
+		mu.Lock()
+		done++
+		n := done
+		mu.Unlock()
+		d.progress("atlas: run %d/%d done", n, len(jobs))
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, p := range misses {
+		cr := &atlas.Sections[p.section].Cells[p.cell]
+		cr.Results = make([]glr.Result, p.runs)
+		cr.Series = Series{Every: p.every, Delivery: make([][]float64, p.runs)}
+		for k := 0; k < p.runs; k++ {
+			cr.Results[k] = outs[p.firstJob+k].res
+			cr.Series.Delivery[k] = outs[p.firstJob+k].delivery
+		}
+		atlas.Computed++
+		if d.Cache != "" {
+			if err := storeCell(d.Cache, cacheEntry{
+				Key: p.key, Version: version, Cell: p.spec,
+				BaseSeed: p.baseSeed, Runs: p.runs,
+				Results: cr.Results, Series: cr.Series,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		d.progress("atlas: cell %s -> delivery %.3f", p.spec.Label(), aggregate(cr.Results).DeliveryRatio.Mean)
+	}
+	for si := range atlas.Sections {
+		for ci := range atlas.Sections[si].Cells {
+			cr := &atlas.Sections[si].Cells[ci]
+			cr.Agg = aggregate(cr.Results)
+		}
+	}
+	return atlas, nil
+}
+
+func (d *Driver) progress(format string, args ...any) {
+	if d.Progress != nil {
+		d.Progress(format, args...)
+	}
+}

@@ -1,0 +1,529 @@
+package matrix
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"glr"
+	"glr/internal/asciiplot"
+	"glr/internal/stats"
+)
+
+// coordinateAxes are the cell dimensions a regime map compares
+// protocols across, in table-column order.
+var coordinateAxes = []string{"mobility", "workload", "nodes", "range", "storage"}
+
+// coordValue renders one cell's value on a named coordinate axis,
+// matching the formatting of Matrix.Axes.
+func coordValue(c glr.Cell, axis string) string {
+	switch axis {
+	case "mobility":
+		return string(c.Mobility)
+	case "workload":
+		return string(c.Workload)
+	case "nodes":
+		return strconv.Itoa(c.Nodes)
+	case "range":
+		return strconv.FormatFloat(c.Range, 'g', -1, 64)
+	case "storage":
+		if c.StorageLimit == 0 {
+			return "unlimited"
+		}
+		return strconv.Itoa(c.StorageLimit)
+	default:
+		return ""
+	}
+}
+
+// axisNumber reads one cell's value on a numeric axis (for trend-plot x
+// coordinates).
+func axisNumber(c glr.Cell, axis string) (float64, bool) {
+	switch axis {
+	case "nodes":
+		return float64(c.Nodes), true
+	case "range":
+		return c.Range, true
+	case "storage":
+		return float64(c.StorageLimit), true
+	default:
+		return 0, false
+	}
+}
+
+// fmtCI renders a mean ± half-width pair at the given precision.
+func fmtCI(ci stats.MeanCI, prec int) string {
+	return fmt.Sprintf("%.*f±%.*f", prec, ci.Mean, prec, ci.HalfWidth)
+}
+
+// mdTable renders a GitHub-flavored markdown table.
+func mdTable(headers []string, rows [][]string) string {
+	var sb strings.Builder
+	sb.WriteString("| " + strings.Join(headers, " | ") + " |\n")
+	seps := make([]string, len(headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	sb.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range rows {
+		sb.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return sb.String()
+}
+
+// group is one coordinate of a section with its per-protocol cells, in
+// section protocol order.
+type group struct {
+	coord glr.Cell // protocol cleared
+	cells []*CellResult
+}
+
+// groups folds a section's cells by coordinate, preserving first-seen
+// order; within a group, cells keep the section's cell order (protocol
+// innermost, so protocol order).
+func (sr *SectionResult) groups() []group {
+	index := map[glr.Cell]int{}
+	var gs []group
+	for ci := range sr.Cells {
+		cr := &sr.Cells[ci]
+		coord := cr.Cell.Coordinate()
+		gi, ok := index[coord]
+		if !ok {
+			gi = len(gs)
+			index[coord] = gi
+			gs = append(gs, group{coord: coord})
+		}
+		gs[gi].cells = append(gs[gi].cells, cr)
+	}
+	return gs
+}
+
+// winner picks the group's best protocol by mean delivery ratio (ties
+// break toward lower mean latency, then cell order) and reports whether
+// its confidence interval is disjoint from every rival's — the regime
+// map's significance mark.
+func (g group) winner() (*CellResult, bool) {
+	best := g.cells[0]
+	for _, c := range g.cells[1:] {
+		switch {
+		case c.Agg.DeliveryRatio.Mean > best.Agg.DeliveryRatio.Mean:
+			best = c
+		case c.Agg.DeliveryRatio.Mean == best.Agg.DeliveryRatio.Mean &&
+			c.Agg.AvgLatency.Mean < best.Agg.AvgLatency.Mean:
+			best = c
+		}
+	}
+	significant := true
+	for _, c := range g.cells {
+		if c == best {
+			continue
+		}
+		if best.Agg.DeliveryRatio.Lo() <= c.Agg.DeliveryRatio.Hi() {
+			significant = false
+		}
+	}
+	return best, significant
+}
+
+// variableAxes returns the section's coordinate axes that sweep more
+// than one value (constant axes stay out of the regime table).
+func (sr *SectionResult) variableAxes() []string {
+	byName := map[string][]string{}
+	for _, ax := range sr.Axes {
+		byName[ax.Name] = ax.Values
+	}
+	var out []string
+	for _, name := range coordinateAxes {
+		if len(byName[name]) > 1 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// protocols returns the section's protocol axis values in sweep order.
+func (sr *SectionResult) protocols() []string {
+	for _, ax := range sr.Axes {
+		if ax.Name == "protocol" {
+			return ax.Values
+		}
+	}
+	return nil
+}
+
+// regimeTable renders the section's winner-per-coordinate markdown
+// table.
+func (sr *SectionResult) regimeTable() string {
+	axes := sr.variableAxes()
+	protos := sr.protocols()
+	multi := len(protos) > 1
+	headers := append([]string{}, axes...)
+	if multi {
+		headers = append(headers, "winner")
+	}
+	for _, p := range protos {
+		headers = append(headers, p+" delivery", p+" latency (s)")
+	}
+	var rows [][]string
+	for _, g := range sr.groups() {
+		row := make([]string, 0, len(headers))
+		for _, ax := range axes {
+			row = append(row, coordValue(g.coord, ax))
+		}
+		if multi {
+			best, significant := g.winner()
+			if significant {
+				row = append(row, "**"+strings.ToUpper(string(best.Cell.Protocol))+"**")
+			} else {
+				row = append(row, string(best.Cell.Protocol)+" ≈")
+			}
+		}
+		for _, c := range g.cells {
+			row = append(row, fmtCI(c.Agg.DeliveryRatio, 3), fmtCI(c.Agg.AvgLatency, 1))
+		}
+		rows = append(rows, row)
+	}
+	return mdTable(headers, rows)
+}
+
+// overheadTable renders per-protocol hop, storage, duplicate, and frame
+// aggregates for the section's first coordinate — the cost side of the
+// regime map.
+func (sr *SectionResult) overheadTable() string {
+	gs := sr.groups()
+	if len(gs) == 0 {
+		return ""
+	}
+	headers := []string{"protocol (" + gs[0].coord.Label() + ")", "hops", "avg peak storage", "duplicates", "frames"}
+	var rows [][]string
+	for _, c := range gs[0].cells {
+		rows = append(rows, []string{
+			string(c.Cell.Protocol),
+			fmtCI(c.Agg.AvgHops, 1),
+			fmtCI(c.Agg.AvgPeakStorage, 1),
+			fmtCI(c.Agg.Duplicates, 0),
+			fmtCI(c.Agg.Frames, 0),
+		})
+	}
+	return mdTable(headers, rows)
+}
+
+// pinnedLabel names the coordinate a trend plot holds fixed: the
+// group's label with the swept axis left out.
+func pinnedLabel(coord glr.Cell, skip string) string {
+	var parts []string
+	for _, ax := range coordinateAxes {
+		if ax != skip {
+			parts = append(parts, coordValue(coord, ax))
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+// trendChart plots mean delivery ratio against the section's ChartX
+// axis, one series per protocol, other coordinate axes pinned at their
+// first values.
+func (sr *SectionResult) trendChart() string {
+	if sr.chartX == "" {
+		return ""
+	}
+	gs := sr.groups()
+	if len(gs) == 0 {
+		return ""
+	}
+	byCell := map[glr.Cell]*CellResult{}
+	for ci := range sr.Cells {
+		byCell[sr.Cells[ci].Cell] = &sr.Cells[ci]
+	}
+	// Walk the groups that match the first coordinate on every axis but
+	// chartX: those are the swept points.
+	pin := gs[0].coord
+	var series []asciiplot.Series
+	protos := sr.protocols()
+	markers := []rune{'*', '+', 'o', 'x'}
+	for pi, p := range protos {
+		var xs, ys []float64
+		for _, g := range gs {
+			match := g.coord
+			if x, ok := axisNumber(match, sr.chartX); ok {
+				ref := pin
+				// Compare with chartX neutralized on both sides.
+				switch sr.chartX {
+				case "nodes":
+					match.Nodes, ref.Nodes = 0, 0
+				case "range":
+					match.Range, ref.Range = 0, 0
+				case "storage":
+					match.StorageLimit, ref.StorageLimit = 0, 0
+				}
+				if match != ref {
+					continue
+				}
+				cell := g.coord
+				cell.Protocol = glr.Protocol(p)
+				if cr, ok := byCell[cell]; ok {
+					xs = append(xs, x)
+					ys = append(ys, cr.Agg.DeliveryRatio.Mean)
+				}
+			}
+		}
+		if len(xs) > 1 {
+			series = append(series, asciiplot.Series{Name: p, Marker: markers[pi%len(markers)], X: xs, Y: ys})
+		}
+	}
+	if len(series) == 0 {
+		return ""
+	}
+	chart := asciiplot.Chart{
+		Title:  fmt.Sprintf("mean delivery ratio vs %s (%s)", sr.chartX, pinnedLabel(pin, sr.chartX)),
+		XLabel: sr.chartX,
+		YMin:   0, YMax: 1,
+		Series: series,
+	}
+	return "```text\n" + chart.Render() + "```\n"
+}
+
+// seriesChartMD plots the mean delivery-ratio time series at the
+// section's first coordinate, one series per protocol.
+func (sr *SectionResult) seriesChartMD() string {
+	if !sr.seriesChart {
+		return ""
+	}
+	gs := sr.groups()
+	if len(gs) == 0 {
+		return ""
+	}
+	markers := []rune{'*', '+', 'o', 'x'}
+	var series []asciiplot.Series
+	for i, c := range gs[0].cells {
+		times, means := c.Series.MeanCurve()
+		if len(times) == 0 {
+			continue
+		}
+		series = append(series, asciiplot.Series{
+			Name: string(c.Cell.Protocol), Marker: markers[i%len(markers)], X: times, Y: means,
+		})
+	}
+	if len(series) == 0 {
+		return ""
+	}
+	chart := asciiplot.Chart{
+		Title:  fmt.Sprintf("mean delivery ratio over time (%s)", gs[0].coord.Label()),
+		XLabel: "simulated seconds",
+		YMin:   0, YMax: 1,
+		Series: series,
+	}
+	return "```text\n" + chart.Render() + "```\n"
+}
+
+// axesTable renders the section's axes.
+func (sr *SectionResult) axesTable() string {
+	rows := make([][]string, len(sr.Axes))
+	for i, ax := range sr.Axes {
+		rows[i] = []string{ax.Name, strings.Join(ax.Values, ", ")}
+	}
+	return mdTable([]string{"axis", "values"}, rows)
+}
+
+// Markdown renders the atlas as the committed docs/ATLAS.md: regime-map
+// tables with per-cell winners and confidence intervals, overhead
+// tables, and ASCII trend plots. When golden is non-nil its comparison
+// table is appended to the section it pins. The output is fully
+// deterministic for a given atlas, so a cache-served regeneration is
+// byte-identical to the run that computed the cells.
+func (a *Atlas) Markdown(golden *Golden) string {
+	var sb strings.Builder
+	sb.WriteString("# GLR scenario atlas — regime map\n\n")
+	sb.WriteString("> Generated by `make atlas` (cmd/glratlas) from the committed result\n")
+	sb.WriteString("> cache in `docs/atlas-cache/`. Do not edit by hand: change the\n")
+	sb.WriteString("> declared sections in `internal/matrix/sections.go`, re-run\n")
+	sb.WriteString("> `make atlas`, and commit the regenerated atlas together with the\n")
+	sb.WriteString("> new cache cells. Only cells without a valid cache entry recompute.\n\n")
+	cells := 0
+	for _, sr := range a.Sections {
+		cells += len(sr.Cells)
+	}
+	fmt.Fprintf(&sb, "Atlas version `%s` — %d cell(s) across %d section(s). ", a.Version, cells, len(a.Sections))
+	sb.WriteString("Every cell aggregates its seeds as mean ± two-sided 90% Student-t\n")
+	sb.WriteString("confidence half-width; **bold** winners have a delivery-ratio interval\n")
+	sb.WriteString("disjoint from every rival's, \"≈\" marks overlapping intervals.\n\n")
+	for si := range a.Sections {
+		sr := &a.Sections[si]
+		fmt.Fprintf(&sb, "## %s\n\n", sr.Title)
+		if sr.Note != "" {
+			sb.WriteString(sr.Note + "\n\n")
+		}
+		fmt.Fprintf(&sb, "%d cells × %d seeds (base seed %d), %d messages per run.\n\n",
+			len(sr.Cells), sr.Runs, sr.BaseSeed, messagesOf(sr))
+		sb.WriteString(sr.axesTable() + "\n")
+		sb.WriteString("### Regime map\n\n")
+		sb.WriteString(sr.regimeTable() + "\n")
+		if ot := sr.overheadTable(); ot != "" {
+			sb.WriteString("### Overhead\n\n")
+			sb.WriteString(ot + "\n")
+		}
+		if tc := sr.trendChart(); tc != "" {
+			sb.WriteString("### Trend\n\n")
+			sb.WriteString(tc + "\n")
+		}
+		if sc := sr.seriesChartMD(); sc != "" {
+			sb.WriteString("### Time series\n\n")
+			sb.WriteString(sc + "\n")
+		}
+		if golden != nil && golden.Section == sr.Name {
+			sb.WriteString(golden.table(sr))
+		}
+	}
+	return sb.String()
+}
+
+// messagesOf reads the per-run message count off a section (constant
+// across its cells by construction).
+func messagesOf(sr *SectionResult) int {
+	if len(sr.Cells) == 0 {
+		return 0
+	}
+	return sr.Cells[0].Cell.Messages
+}
+
+// JSON renders the machine-readable docs/atlas.json.
+func (a *Atlas) JSON() ([]byte, error) {
+	raw, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+// section finds a section by name.
+func (a *Atlas) section(name string) *SectionResult {
+	for i := range a.Sections {
+		if a.Sections[i].Name == name {
+			return &a.Sections[i]
+		}
+	}
+	return nil
+}
+
+// Golden pins one section's per-cell delivery-ratio means: the
+// committed expectation the regenerated atlas is diffed against. The
+// paper-figure slice commits its numbers to ci/atlas_golden.json, so
+// any semantic drift in the simulator shows up as a golden failure
+// rather than a silently shifted figure.
+type Golden struct {
+	// Section names the pinned section.
+	Section string
+	// Metric documents what Mean pins (always "deliveryRatio" today).
+	Metric string
+	// Epsilon is the absolute slack added on top of each cell's
+	// confidence half-width (covers floating-point formatting drift;
+	// the simulation itself is deterministic).
+	Epsilon float64
+	// Cells are the pinned per-cell expectations.
+	Cells []GoldenCell
+}
+
+// GoldenCell is one pinned cell: its label and the expected mean ±
+// confidence half-width.
+type GoldenCell struct {
+	Label     string
+	Mean      float64
+	HalfWidth float64
+}
+
+// GoldenFromAtlas extracts a golden snapshot of the named section.
+func GoldenFromAtlas(a *Atlas, section string) (*Golden, error) {
+	sr := a.section(section)
+	if sr == nil {
+		return nil, fmt.Errorf("matrix: no section %q in atlas", section)
+	}
+	g := &Golden{Section: section, Metric: "deliveryRatio", Epsilon: 1e-9}
+	for i := range sr.Cells {
+		cr := &sr.Cells[i]
+		g.Cells = append(g.Cells, GoldenCell{
+			Label:     cr.Cell.Label(),
+			Mean:      cr.Agg.DeliveryRatio.Mean,
+			HalfWidth: cr.Agg.DeliveryRatio.HalfWidth,
+		})
+	}
+	return g, nil
+}
+
+// Check verifies the atlas against the golden numbers: every pinned
+// cell must exist and its regenerated delivery-ratio mean must lie
+// within the golden's confidence interval widened by Epsilon.
+func (g *Golden) Check(a *Atlas) error {
+	sr := a.section(g.Section)
+	if sr == nil {
+		return fmt.Errorf("matrix: golden pins section %q, absent from atlas", g.Section)
+	}
+	byLabel := map[string]*CellResult{}
+	for i := range sr.Cells {
+		byLabel[sr.Cells[i].Cell.Label()] = &sr.Cells[i]
+	}
+	for _, gc := range g.Cells {
+		cr, ok := byLabel[gc.Label]
+		if !ok {
+			return fmt.Errorf("matrix: golden cell %q absent from section %q", gc.Label, g.Section)
+		}
+		diff := math.Abs(cr.Agg.DeliveryRatio.Mean - gc.Mean)
+		if tol := gc.HalfWidth + g.Epsilon; diff > tol {
+			return fmt.Errorf("matrix: golden mismatch at %q: delivery %.6f, golden %.6f±%.6f (|Δ| %.6f > %.6f)",
+				gc.Label, cr.Agg.DeliveryRatio.Mean, gc.Mean, gc.HalfWidth, diff, tol)
+		}
+	}
+	return nil
+}
+
+// table renders the golden comparison for ATLAS.md.
+func (g *Golden) table(sr *SectionResult) string {
+	byLabel := map[string]*CellResult{}
+	for i := range sr.Cells {
+		byLabel[sr.Cells[i].Cell.Label()] = &sr.Cells[i]
+	}
+	var rows [][]string
+	for _, gc := range g.Cells {
+		cr, ok := byLabel[gc.Label]
+		if !ok {
+			continue
+		}
+		rows = append(rows, []string{
+			gc.Label,
+			fmt.Sprintf("%.3f±%.3f", gc.Mean, gc.HalfWidth),
+			fmt.Sprintf("%.3f", cr.Agg.DeliveryRatio.Mean),
+			fmt.Sprintf("%.6f", math.Abs(cr.Agg.DeliveryRatio.Mean-gc.Mean)),
+		})
+	}
+	var sb strings.Builder
+	sb.WriteString("### Golden check\n\n")
+	sb.WriteString("Regenerated delivery-ratio means against the committed golden\n")
+	sb.WriteString("numbers (`ci/atlas_golden.json`); `make atlas` fails if any cell\n")
+	sb.WriteString("drifts outside its golden confidence interval.\n\n")
+	sb.WriteString(mdTable([]string{"cell", "golden", "regenerated", "|Δ|"}, rows) + "\n")
+	return sb.String()
+}
+
+// ReadGolden loads a golden file.
+func ReadGolden(path string) (*Golden, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var g Golden
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return nil, fmt.Errorf("matrix: parse golden %s: %w", path, err)
+	}
+	return &g, nil
+}
+
+// WriteGolden persists a golden file.
+func WriteGolden(path string, g *Golden) error {
+	raw, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -1,0 +1,77 @@
+package matrix
+
+import "glr"
+
+// GoldenSection names the section whose delivery-ratio means are pinned
+// by ci/atlas_golden.json: the reproduction of the paper's
+// delivery-vs-density figure (delivery ratio against transmission range
+// at fixed node count, i.e. increasing effective density).
+const GoldenSection = "paper-density"
+
+// DefaultSections declares the committed atlas: the full regime map
+// plus the paper-figure slice. Growing the atlas means appending an
+// axis value or a section here — existing cells keep their cache keys,
+// so only the new cells compute.
+func DefaultSections() []Section {
+	return []Section{
+		{
+			Name:  "regime",
+			Title: "Regime map — protocol × mobility × workload × density × storage",
+			Note: "Where does geometric routing beat epidemic flooding? Each row is " +
+				"one scenario coordinate; the winner column compares mean delivery " +
+				"ratio between the protocols at that coordinate.",
+			Matrix: glr.Matrix{
+				Protocols:     []glr.Protocol{glr.GLR, glr.Epidemic},
+				Mobilities:    []glr.MobilityKind{glr.MobilityWaypoint, glr.MobilityStatic, glr.MobilityRandomWalk},
+				Workloads:     []glr.WorkloadKind{glr.WorkloadPaper, glr.WorkloadUniform, glr.WorkloadPoisson, glr.WorkloadHotspot},
+				Nodes:         []int{30, 50},
+				Ranges:        []float64{100},
+				StorageLimits: []int{0, 10},
+				Messages:      150,
+				Seeds:         3,
+			},
+			ChartX:      "nodes",
+			SeriesChart: true,
+		},
+		{
+			Name:  GoldenSection,
+			Title: "Paper figure — delivery ratio vs density",
+			Note: "Reproduces the paper's delivery-vs-density sweep: transmission " +
+				"range grows at a fixed node count, so the effective network density " +
+				"rises left to right. Pinned by `ci/atlas_golden.json`.",
+			Matrix: glr.Matrix{
+				Protocols:  []glr.Protocol{glr.GLR, glr.Epidemic},
+				Mobilities: []glr.MobilityKind{glr.MobilityWaypoint},
+				Workloads:  []glr.WorkloadKind{glr.WorkloadPaper},
+				Nodes:      []int{50},
+				Ranges:     []float64{50, 100, 150, 200, 250},
+				Messages:   150,
+				Seeds:      3,
+			},
+			ChartX: "range",
+		},
+	}
+}
+
+// ShortSections is the CI-sized atlas slice (4 cells × 2 seeds): small
+// enough to compute uncached in well under two minutes, large enough to
+// exercise the driver, cache, and renderer end to end.
+func ShortSections() []Section {
+	return []Section{
+		{
+			Name:  "short",
+			Title: "Short slice — CI smoke matrix",
+			Matrix: glr.Matrix{
+				Protocols:  []glr.Protocol{glr.GLR, glr.Epidemic},
+				Mobilities: []glr.MobilityKind{glr.MobilityWaypoint},
+				Workloads:  []glr.WorkloadKind{glr.WorkloadPaper, glr.WorkloadUniform},
+				Nodes:      []int{30},
+				Ranges:     []float64{100},
+				Messages:   60,
+				Seeds:      2,
+			},
+			ChartX:      "range",
+			SeriesChart: true,
+		},
+	}
+}

@@ -1,8 +1,13 @@
 // Package runner executes batches of independent simulation runs across
 // a bounded worker pool. It is the shared engine behind the public
-// glr.Runner and the replication loops of internal/experiments: jobs go
-// in as closures, reports come out in job order, and a context cancels
-// both queued jobs and (via sim.World.RunContext) runs in flight.
+// glr.Runner, the replication loops of internal/experiments, and the
+// scenario-matrix driver of internal/matrix: jobs go in as closures,
+// results come out in job order, and a context cancels both queued jobs
+// and (via sim.World.RunContext) runs in flight. The pool is generic
+// over the job result type, so callers that need more than a
+// metrics.Report per run — the matrix driver carries an observer time
+// series alongside each result — share the same claiming, cancellation,
+// and error-ordering machinery.
 package runner
 
 import (
@@ -10,24 +15,30 @@ import (
 	"errors"
 	"runtime"
 	"sync"
-
-	"glr/internal/metrics"
 )
 
-// Job is one independent simulation run. It receives the pool's context
-// and should abandon work promptly once the context is done (worlds do
-// so when run through sim.World.RunContext).
-type Job func(ctx context.Context) (metrics.Report, error)
+// Job is one independent simulation run producing a T. It receives the
+// pool's context and should abandon work promptly once the context is
+// done (worlds do so when run through sim.World.RunContext).
+type Job[T any] func(ctx context.Context) (T, error)
 
 // Run executes jobs across a pool of workers goroutines (0 or negative
-// means GOMAXPROCS) and returns their reports in job order — the result
+// means GOMAXPROCS) and returns their results in job order — the result
 // is identical whatever the worker count, so parallel sweeps are
 // reproducible. On the first job error the pool stops claiming new jobs
 // and cancels the context passed to in-flight ones (worlds run through
 // sim.World.RunContext stop at the next event batch); the first genuine
 // error in job order is returned. A done outer context surfaces as its
 // ctx.Err.
-func Run(outer context.Context, workers int, jobs []Job) ([]metrics.Report, error) {
+func Run[T any](outer context.Context, workers int, jobs []Job[T]) ([]T, error) {
+	return RunNotify(outer, workers, jobs, nil)
+}
+
+// RunNotify is Run with a completion hook: after each job finishes,
+// notify (when non-nil) receives the job's index. It is invoked from
+// worker goroutines — possibly concurrently — so callers that aggregate
+// progress must synchronize; it must not block, or it stalls the pool.
+func RunNotify[T any](outer context.Context, workers int, jobs []Job[T], notify func(i int)) ([]T, error) {
 	if outer == nil {
 		outer = context.Background()
 	}
@@ -41,7 +52,7 @@ func Run(outer context.Context, workers int, jobs []Job) ([]metrics.Report, erro
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	reports := make([]metrics.Report, len(jobs))
+	results := make([]T, len(jobs))
 	errs := make([]error, len(jobs))
 
 	var (
@@ -68,9 +79,11 @@ func Run(outer context.Context, workers int, jobs []Job) ([]metrics.Report, erro
 				if i < 0 {
 					return
 				}
-				reports[i], errs[i] = jobs[i](ctx)
+				results[i], errs[i] = jobs[i](ctx)
 				if errs[i] != nil {
 					abort()
+				} else if notify != nil {
+					notify(i)
 				}
 			}
 		}()
@@ -85,7 +98,7 @@ func Run(outer context.Context, workers int, jobs []Job) ([]metrics.Report, erro
 	if complete {
 		// Every job was claimed and succeeded: the result set is whole,
 		// even if ctx happened to expire after the last job finished.
-		return reports, nil
+		return results, nil
 	}
 	if err := outer.Err(); err != nil {
 		return nil, err

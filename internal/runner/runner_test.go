@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -11,7 +12,7 @@ import (
 	"glr/internal/metrics"
 )
 
-func countingJob(i int, ran *atomic.Int32) Job {
+func countingJob(i int, ran *atomic.Int32) Job[metrics.Report] {
 	return func(context.Context) (metrics.Report, error) {
 		ran.Add(1)
 		return metrics.Report{Generated: i}, nil
@@ -21,7 +22,7 @@ func countingJob(i int, ran *atomic.Int32) Job {
 func TestRunPreservesJobOrder(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 16} {
 		var ran atomic.Int32
-		jobs := make([]Job, 20)
+		jobs := make([]Job[metrics.Report], 20)
 		for i := range jobs {
 			jobs[i] = countingJob(i, &ran)
 		}
@@ -41,7 +42,7 @@ func TestRunPreservesJobOrder(t *testing.T) {
 }
 
 func TestRunEmpty(t *testing.T) {
-	reports, err := Run(context.Background(), 4, nil)
+	reports, err := Run[metrics.Report](context.Background(), 4, nil)
 	if err != nil || len(reports) != 0 {
 		t.Fatalf("empty run: %v, %v", reports, err)
 	}
@@ -49,7 +50,7 @@ func TestRunEmpty(t *testing.T) {
 
 func TestRunPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	jobs := []Job{
+	jobs := []Job[metrics.Report]{
 		func(context.Context) (metrics.Report, error) { return metrics.Report{}, nil },
 		func(context.Context) (metrics.Report, error) { return metrics.Report{}, boom },
 		func(context.Context) (metrics.Report, error) { return metrics.Report{}, nil },
@@ -61,7 +62,7 @@ func TestRunPropagatesError(t *testing.T) {
 
 func TestRunErrorStopsClaiming(t *testing.T) {
 	var ran atomic.Int32
-	jobs := make([]Job, 50)
+	jobs := make([]Job[metrics.Report], 50)
 	for i := range jobs {
 		i := i
 		jobs[i] = func(context.Context) (metrics.Report, error) {
@@ -84,7 +85,7 @@ func TestRunCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	var ran atomic.Int32
-	jobs := make([]Job, 8)
+	jobs := make([]Job[metrics.Report], 8)
 	for i := range jobs {
 		jobs[i] = countingJob(i, &ran)
 	}
@@ -100,7 +101,7 @@ func TestRunCancellationMidFlight(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var ran atomic.Int32
-	jobs := make([]Job, 16)
+	jobs := make([]Job[metrics.Report], 16)
 	for i := range jobs {
 		i := i
 		jobs[i] = func(ctx context.Context) (metrics.Report, error) {
@@ -130,7 +131,7 @@ func TestRunCancellationMidFlight(t *testing.T) {
 func TestFailureAbortsInFlightJobs(t *testing.T) {
 	boom := errors.New("boom")
 	started := make(chan struct{})
-	jobs := []Job{
+	jobs := []Job[metrics.Report]{
 		func(ctx context.Context) (metrics.Report, error) {
 			<-started // wait until the failing job is definitely running
 			select {
@@ -160,7 +161,7 @@ func TestFailureAbortsInFlightJobs(t *testing.T) {
 func TestLateCancelKeepsCompletedResults(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	jobs := make([]Job, 4)
+	jobs := make([]Job[metrics.Report], 4)
 	for i := range jobs {
 		i := i
 		jobs[i] = func(context.Context) (metrics.Report, error) {
@@ -183,10 +184,70 @@ func TestLateCancelKeepsCompletedResults(t *testing.T) {
 
 func TestNilContext(t *testing.T) {
 	var ran atomic.Int32
-	if _, err := Run(nil, 1, []Job{countingJob(0, &ran)}); err != nil {
+	if _, err := Run(nil, 1, []Job[metrics.Report]{countingJob(0, &ran)}); err != nil {
 		t.Fatal(err)
 	}
 	if ran.Load() != 1 {
 		t.Fatal("nil-context run skipped the job")
+	}
+}
+
+// TestRunNotify: every successful job reports its index exactly once;
+// failed jobs never notify.
+func TestRunNotify(t *testing.T) {
+	jobs := make([]Job[int], 12)
+	boom := errors.New("boom")
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (int, error) {
+			if i == len(jobs)-1 {
+				return 0, boom
+			}
+			return i * i, nil
+		}
+	}
+	var mu sync.Mutex
+	seen := map[int]int{}
+	notify := func(i int) {
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+	}
+	results, err := RunNotify(context.Background(), 1, jobs, notify)
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if results != nil {
+		t.Fatalf("failed sweep returned results: %v", results)
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %d notified %d times", i, n)
+		}
+		if i == len(jobs)-1 {
+			t.Fatal("failed job notified")
+		}
+	}
+	if len(seen) != len(jobs)-1 {
+		t.Fatalf("notified %d of %d successful jobs", len(seen), len(jobs)-1)
+	}
+}
+
+// TestRunGenericResult: the pool is generic over the result type.
+func TestRunGenericResult(t *testing.T) {
+	type pair struct{ a, b int }
+	jobs := make([]Job[pair], 5)
+	for i := range jobs {
+		i := i
+		jobs[i] = func(context.Context) (pair, error) { return pair{i, 2 * i}, nil }
+	}
+	out, err := Run(context.Background(), 3, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range out {
+		if p != (pair{i, 2 * i}) {
+			t.Fatalf("out[%d] = %v", i, p)
+		}
 	}
 }

@@ -1,0 +1,375 @@
+package glr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MobilityKind names one of the built-in mobility models as a value a
+// Matrix axis can sweep. Unlike the Mobility implementations (Waypoint,
+// Static, RandomWalk), a kind is a plain string: it serializes
+// canonically, so matrix drivers can content-address results by it.
+// Each kind expands to its model with the paper's default parameters.
+type MobilityKind string
+
+// The mobility models a Matrix can sweep.
+const (
+	// MobilityWaypoint is the paper's random waypoint model (0–20 m/s,
+	// no pause).
+	MobilityWaypoint MobilityKind = "waypoint"
+	// MobilityStatic places nodes uniformly at random and never moves
+	// them.
+	MobilityStatic MobilityKind = "static"
+	// MobilityRandomWalk is the reflecting random walk (0–20 m/s, 20 s
+	// legs).
+	MobilityRandomWalk MobilityKind = "randomwalk"
+)
+
+// Mobility returns the model the kind names, with its default
+// parameters.
+func (k MobilityKind) Mobility() (Mobility, error) {
+	switch k {
+	case MobilityWaypoint:
+		return Waypoint{}, nil
+	case MobilityStatic:
+		return Static{}, nil
+	case MobilityRandomWalk:
+		return RandomWalk{}, nil
+	default:
+		return nil, fmt.Errorf("glr: unknown mobility kind %q", k)
+	}
+}
+
+// WorkloadKind names one of the built-in traffic workloads as a value a
+// Matrix axis can sweep. Like MobilityKind, a kind is a canonical
+// string; it expands to its generator at a given message count with
+// default knobs (1 msg/s, one hotspot sink).
+type WorkloadKind string
+
+// The workloads a Matrix can sweep.
+const (
+	// WorkloadPaper is the paper's round-robin evaluation traffic.
+	WorkloadPaper WorkloadKind = "paper"
+	// WorkloadUniform draws uniformly random distinct pairs at a fixed
+	// rate.
+	WorkloadUniform WorkloadKind = "uniform"
+	// WorkloadPoisson draws uniformly random distinct pairs with
+	// Poisson arrivals.
+	WorkloadPoisson WorkloadKind = "poisson"
+	// WorkloadHotspot concentrates all traffic on a single sink node.
+	WorkloadHotspot WorkloadKind = "hotspot"
+)
+
+// Workload returns the generator the kind names, scheduling messages
+// generations with default knobs.
+func (k WorkloadKind) Workload(messages int) (Workload, error) {
+	switch k {
+	case WorkloadPaper:
+		return PaperWorkload{Messages: messages}, nil
+	case WorkloadUniform:
+		return UniformWorkload{Messages: messages}, nil
+	case WorkloadPoisson:
+		return PoissonWorkload{Messages: messages}, nil
+	case WorkloadHotspot:
+		return HotspotWorkload{Messages: messages}, nil
+	default:
+		return nil, fmt.Errorf("glr: unknown workload kind %q", k)
+	}
+}
+
+// Axis is one named dimension of a scenario Matrix together with the
+// values it sweeps, rendered as strings in sweep order. Axes are the
+// presentation surface of a matrix: drivers use them to label regime
+// maps and trend plots.
+type Axis struct {
+	Name   string
+	Values []string
+}
+
+// Matrix describes a cross-product of scenario axes: every combination
+// of protocol × mobility × workload × node count × transmission range ×
+// storage limit becomes one Cell, and each cell is replicated over
+// Seeds consecutive seeds starting at BaseSeed. Nil or zero fields take
+// the defaults noted on each field, so the zero Matrix is the paper's
+// Table-1 baseline compared across both protocols.
+//
+// A Matrix is pure description: Cells enumerates the cross-product in a
+// deterministic order, and each Cell compiles to a Scenario via
+// Cell.Scenario. The scenario-matrix driver behind cmd/glratlas
+// (internal/matrix) executes matrices with a content-keyed result cache
+// and renders the regime-map atlas in docs/ATLAS.md.
+type Matrix struct {
+	// Protocols to compare (default {GLR, Epidemic}).
+	Protocols []Protocol
+	// Mobilities to sweep (default {MobilityWaypoint}).
+	Mobilities []MobilityKind
+	// Workloads to sweep (default {WorkloadPaper}).
+	Workloads []WorkloadKind
+	// Nodes holds the network sizes to sweep (default {50}).
+	Nodes []int
+	// Ranges holds the transmission ranges in metres (default {100}).
+	Ranges []float64
+	// StorageLimits holds the per-node buffer bounds to sweep; 0 means
+	// unlimited (default {0}).
+	StorageLimits []int
+
+	// Messages is the per-cell workload size (default 200).
+	Messages int
+	// SimTime is the per-cell horizon in seconds. The default derives
+	// it from the workload as Messages + 600 s of delivery slack, the
+	// same rule Scenario uses, but pinned per cell so every seed of a
+	// cell observes an identical horizon.
+	SimTime float64
+	// Seeds is the number of replications per cell (default 3).
+	Seeds int
+	// BaseSeed seeds replication r of every cell with BaseSeed + r
+	// (default 1).
+	BaseSeed int64
+}
+
+// Normalized returns the matrix with every unset field replaced by its
+// documented default. Cells, Axes, and Validate all operate on the
+// normalized form; drivers should key caches by it so that spelling a
+// default out explicitly does not change cell identity.
+func (m Matrix) Normalized() Matrix {
+	if len(m.Protocols) == 0 {
+		m.Protocols = []Protocol{GLR, Epidemic}
+	}
+	if len(m.Mobilities) == 0 {
+		m.Mobilities = []MobilityKind{MobilityWaypoint}
+	}
+	if len(m.Workloads) == 0 {
+		m.Workloads = []WorkloadKind{WorkloadPaper}
+	}
+	if len(m.Nodes) == 0 {
+		m.Nodes = []int{50}
+	}
+	if len(m.Ranges) == 0 {
+		m.Ranges = []float64{100}
+	}
+	if len(m.StorageLimits) == 0 {
+		m.StorageLimits = []int{0}
+	}
+	if m.Messages == 0 {
+		m.Messages = 200
+	}
+	if m.SimTime == 0 {
+		m.SimTime = float64(m.Messages) + 600
+	}
+	if m.Seeds == 0 {
+		m.Seeds = 3
+	}
+	if m.BaseSeed == 0 {
+		m.BaseSeed = 1
+	}
+	return m
+}
+
+// Validate reports a descriptive error for unusable matrices. It checks
+// the normalized form, so empty axes (which default) are fine but any
+// explicit value out of its domain is not.
+func (m Matrix) Validate() error {
+	n := m.Normalized()
+	for _, p := range n.Protocols {
+		switch p {
+		case GLR, Epidemic:
+		default:
+			return fmt.Errorf("glr: matrix protocol %q unknown", p)
+		}
+	}
+	for _, k := range n.Mobilities {
+		if _, err := k.Mobility(); err != nil {
+			return err
+		}
+	}
+	for _, k := range n.Workloads {
+		if _, err := k.Workload(n.Messages); err != nil {
+			return err
+		}
+	}
+	for _, nodes := range n.Nodes {
+		if nodes < 2 {
+			return fmt.Errorf("glr: matrix node count %d must be ≥ 2", nodes)
+		}
+	}
+	for _, r := range n.Ranges {
+		if r <= 0 {
+			return fmt.Errorf("glr: matrix range %v must be positive", r)
+		}
+	}
+	for _, s := range n.StorageLimits {
+		if s < 0 {
+			return fmt.Errorf("glr: matrix storage limit %d must be nonnegative", s)
+		}
+	}
+	switch {
+	case n.Messages < 0:
+		return fmt.Errorf("glr: matrix message count %d must be nonnegative", n.Messages)
+	case n.SimTime <= 0:
+		return fmt.Errorf("glr: matrix sim time %v must be positive", n.SimTime)
+	case n.Seeds < 1:
+		return fmt.Errorf("glr: matrix seed count %d must be ≥ 1", n.Seeds)
+	}
+	return nil
+}
+
+// Axes returns the matrix's dimensions in canonical order — protocol,
+// mobility, workload, nodes, range, storage — with their normalized
+// value lists rendered as strings.
+func (m Matrix) Axes() []Axis {
+	n := m.Normalized()
+	axes := make([]Axis, 0, 6)
+	add := func(name string, vals []string) {
+		axes = append(axes, Axis{Name: name, Values: vals})
+	}
+	ps := make([]string, len(n.Protocols))
+	for i, p := range n.Protocols {
+		ps[i] = string(p)
+	}
+	add("protocol", ps)
+	ms := make([]string, len(n.Mobilities))
+	for i, k := range n.Mobilities {
+		ms[i] = string(k)
+	}
+	add("mobility", ms)
+	ws := make([]string, len(n.Workloads))
+	for i, k := range n.Workloads {
+		ws[i] = string(k)
+	}
+	add("workload", ws)
+	ns := make([]string, len(n.Nodes))
+	for i, v := range n.Nodes {
+		ns[i] = strconv.Itoa(v)
+	}
+	add("nodes", ns)
+	rs := make([]string, len(n.Ranges))
+	for i, v := range n.Ranges {
+		rs[i] = strconv.FormatFloat(v, 'g', -1, 64)
+	}
+	add("range", rs)
+	ss := make([]string, len(n.StorageLimits))
+	for i, v := range n.StorageLimits {
+		if v == 0 {
+			ss[i] = "unlimited"
+		} else {
+			ss[i] = strconv.Itoa(v)
+		}
+	}
+	add("storage", ss)
+	return axes
+}
+
+// Cells enumerates the cross-product of the normalized axes in a
+// deterministic order: mobility-major, then workload, nodes, range,
+// storage, with protocol innermost so a coordinate's protocol variants
+// are adjacent. Every cell carries the matrix's Messages and SimTime,
+// making it a self-contained, canonically serializable scenario spec.
+func (m Matrix) Cells() []Cell {
+	n := m.Normalized()
+	cells := make([]Cell, 0,
+		len(n.Mobilities)*len(n.Workloads)*len(n.Nodes)*len(n.Ranges)*len(n.StorageLimits)*len(n.Protocols))
+	for _, mob := range n.Mobilities {
+		for _, work := range n.Workloads {
+			for _, nodes := range n.Nodes {
+				for _, rng := range n.Ranges {
+					for _, storage := range n.StorageLimits {
+						for _, proto := range n.Protocols {
+							cells = append(cells, Cell{
+								Protocol:     proto,
+								Mobility:     mob,
+								Workload:     work,
+								Nodes:        nodes,
+								Range:        rng,
+								StorageLimit: storage,
+								Messages:     n.Messages,
+								SimTime:      n.SimTime,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Cell is one fully determined point of a Matrix: a scenario spec with
+// every axis pinned to a concrete value. Cells are plain data — they
+// serialize canonically, which is what lets matrix drivers
+// content-address cached results — and compile to a runnable Scenario
+// with Scenario.
+type Cell struct {
+	Protocol     Protocol
+	Mobility     MobilityKind
+	Workload     WorkloadKind
+	Nodes        int
+	Range        float64 // metres
+	StorageLimit int     // messages per node; 0 = unlimited
+	Messages     int
+	SimTime      float64 // seconds
+}
+
+// Options expands the cell into the scenario options it pins. The run
+// seed is deliberately not among them: drivers append WithSeed per
+// replication.
+func (c Cell) Options() ([]Option, error) {
+	mob, err := c.Mobility.Mobility()
+	if err != nil {
+		return nil, err
+	}
+	work, err := c.Workload.Workload(c.Messages)
+	if err != nil {
+		return nil, err
+	}
+	return []Option{
+		WithProtocol(c.Protocol),
+		WithMobility(mob),
+		WithWorkload(work),
+		WithNodes(c.Nodes),
+		WithRange(c.Range),
+		WithStorageLimit(c.StorageLimit),
+		WithSimTime(c.SimTime),
+	}, nil
+}
+
+// Scenario compiles the cell into a runnable Scenario, seeded with the
+// extra options (typically WithSeed for one replication, WithObserver
+// for a probe).
+func (c Cell) Scenario(extra ...Option) (*Scenario, error) {
+	opts, err := c.Options()
+	if err != nil {
+		return nil, err
+	}
+	return NewScenario(append(opts, extra...)...)
+}
+
+// Coordinate returns the cell with its protocol cleared — the shared
+// scenario coordinate a regime map compares protocols at.
+func (c Cell) Coordinate() Cell {
+	c.Protocol = ""
+	return c
+}
+
+// Label renders the cell as a compact slug —
+// protocol/mobility/workload/n<nodes>/r<range>/s<storage> — with "s∞"
+// for unlimited storage. Labels identify cells in the atlas and in
+// golden files; cache files are named by content key, not label.
+func (c Cell) Label() string {
+	storage := "s∞"
+	if c.StorageLimit > 0 {
+		storage = "s" + strconv.Itoa(c.StorageLimit)
+	}
+	parts := []string{
+		string(c.Protocol),
+		string(c.Mobility),
+		string(c.Workload),
+		"n" + strconv.Itoa(c.Nodes),
+		"r" + strconv.FormatFloat(c.Range, 'g', -1, 64),
+		storage,
+	}
+	if c.Protocol == "" {
+		parts = parts[1:]
+	}
+	return strings.Join(parts, "/")
+}

@@ -1,0 +1,129 @@
+package glr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatrixNormalizedDefaults(t *testing.T) {
+	m := Matrix{}.Normalized()
+	if len(m.Protocols) != 2 || m.Protocols[0] != GLR || m.Protocols[1] != Epidemic {
+		t.Fatalf("default protocols = %v", m.Protocols)
+	}
+	if len(m.Mobilities) != 1 || m.Mobilities[0] != MobilityWaypoint {
+		t.Fatalf("default mobilities = %v", m.Mobilities)
+	}
+	if len(m.Workloads) != 1 || m.Workloads[0] != WorkloadPaper {
+		t.Fatalf("default workloads = %v", m.Workloads)
+	}
+	if m.Messages != 200 || m.Seeds != 3 || m.BaseSeed != 1 {
+		t.Fatalf("default replication = %d msgs, %d seeds, base %d", m.Messages, m.Seeds, m.BaseSeed)
+	}
+	if m.SimTime != float64(m.Messages)+600 {
+		t.Fatalf("default horizon = %v", m.SimTime)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("normalized zero matrix invalid: %v", err)
+	}
+}
+
+func TestMatrixValidateRejectsBadValues(t *testing.T) {
+	bad := []Matrix{
+		{Mobilities: []MobilityKind{"teleport"}},
+		{Workloads: []WorkloadKind{"bursty"}},
+		{Protocols: []Protocol{"carrier-pigeon"}},
+		{Nodes: []int{0}},
+		{Ranges: []float64{-1}},
+		{StorageLimits: []int{-2}},
+	}
+	for i, m := range bad {
+		if err := m.Normalized().Validate(); err == nil {
+			t.Errorf("bad matrix %d validated", i)
+		}
+	}
+}
+
+func TestMatrixCellsDeterministicOrder(t *testing.T) {
+	m := Matrix{
+		Protocols:     []Protocol{GLR, Epidemic},
+		Mobilities:    []MobilityKind{MobilityWaypoint, MobilityStatic},
+		Nodes:         []int{30, 50},
+		StorageLimits: []int{0, 10},
+	}.Normalized()
+	cells := m.Cells()
+	want := 2 * 2 * 1 * 2 * 1 * 2
+	if len(cells) != want {
+		t.Fatalf("got %d cells, want %d", len(cells), want)
+	}
+	// Protocol is the innermost axis: consecutive cells differ only by
+	// protocol, so regime rows compare like against like.
+	for i := 0; i+1 < len(cells); i += 2 {
+		a, b := cells[i], cells[i+1]
+		if a.Protocol != GLR || b.Protocol != Epidemic {
+			t.Fatalf("cells %d,%d protocols = %s,%s", i, i+1, a.Protocol, b.Protocol)
+		}
+		if a.Coordinate() != b.Coordinate() {
+			t.Fatalf("cells %d,%d straddle coordinates", i, i+1)
+		}
+	}
+	again := m.Cells()
+	for i := range cells {
+		if cells[i] != again[i] {
+			t.Fatal("Cells enumeration is not deterministic")
+		}
+	}
+}
+
+func TestCellScenarioRuns(t *testing.T) {
+	m := Matrix{
+		Protocols: []Protocol{GLR},
+		Workloads: []WorkloadKind{WorkloadPoisson},
+		Nodes:     []int{10},
+		Ranges:    []float64{150},
+		Messages:  5,
+		SimTime:   90,
+		Seeds:     1,
+	}.Normalized()
+	cell := m.Cells()[0]
+	sc, err := cell.Scenario(WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generated == 0 {
+		t.Fatal("cell scenario generated no messages")
+	}
+}
+
+func TestCellLabel(t *testing.T) {
+	cell := Cell{Protocol: GLR, Mobility: MobilityWaypoint, Workload: WorkloadPaper, Nodes: 50, Range: 100}
+	if got := cell.Label(); got != "glr/waypoint/paper/n50/r100/s∞" {
+		t.Fatalf("label = %q", got)
+	}
+	cell.StorageLimit = 10
+	if got := cell.Label(); !strings.HasSuffix(got, "/s10") {
+		t.Fatalf("bounded-storage label = %q", got)
+	}
+}
+
+func TestKindExpansion(t *testing.T) {
+	for _, k := range []MobilityKind{MobilityWaypoint, MobilityStatic, MobilityRandomWalk} {
+		if _, err := k.Mobility(); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+	if _, err := MobilityKind("teleport").Mobility(); err == nil {
+		t.Error("unknown mobility kind expanded")
+	}
+	for _, k := range []WorkloadKind{WorkloadPaper, WorkloadUniform, WorkloadPoisson, WorkloadHotspot} {
+		if _, err := k.Workload(10); err != nil {
+			t.Errorf("%s: %v", k, err)
+		}
+	}
+	if _, err := WorkloadKind("bursty").Workload(10); err == nil {
+		t.Error("unknown workload kind expanded")
+	}
+}

@@ -95,7 +95,7 @@ func (r Runner) Compare(ctx context.Context, s *Scenario, runs int) (Comparison,
 	if err := r.check(runs); err != nil {
 		return Comparison{}, err
 	}
-	jobs := make([]runner.Job, 0, 2*runs)
+	jobs := make([]runner.Job[metrics.Report], 0, 2*runs)
 	for _, proto := range []Protocol{GLR, Epidemic} {
 		proto := proto
 		for i := 0; i < runs; i++ {
@@ -117,7 +117,7 @@ func (r Runner) Compare(ctx context.Context, s *Scenario, runs int) (Comparison,
 
 // replicate fans one protocol's replications over the pool.
 func (r Runner) replicate(ctx context.Context, s *Scenario, proto Protocol, runs int) ([]metrics.Report, error) {
-	jobs := make([]runner.Job, runs)
+	jobs := make([]runner.Job[metrics.Report], runs)
 	for i := 0; i < runs; i++ {
 		seed := s.seed + int64(i)
 		jobs[i] = func(ctx context.Context) (metrics.Report, error) {
