@@ -180,13 +180,17 @@ func BenchmarkSingleRunGLR(b *testing.B) {
 
 // runnerScenario is the replication workload of the Runner benchmarks:
 // small enough for the CI benchmark gate, large enough that per-run
-// work dominates pool overhead.
+// work dominates pool overhead. Sharding is pinned off so the
+// measurement isolates the Runner's own pool (per-run shard workers
+// would otherwise vary with the host's core count and the B/op profile
+// with goroutine scheduling).
 func runnerScenario(b *testing.B) *Scenario {
 	sc, err := NewScenario(
 		WithNodes(50),
 		WithRange(100),
 		WithWorkload(UniformWorkload{Messages: 40, Rate: 1}),
 		WithSimTime(120),
+		WithEngine(Engine{DisableSharding: true}),
 	)
 	if err != nil {
 		b.Fatal(err)
@@ -218,6 +222,54 @@ func BenchmarkRunnerSequential(b *testing.B) { benchmarkRunner(b, 1) }
 // pool (results are identical seed-for-seed; see
 // TestRunnerParallelMatchesSequential).
 func BenchmarkRunnerParallel(b *testing.B) { benchmarkRunner(b, runtime.GOMAXPROCS(0)) }
+
+// worldStepScenario is the workload of the execution-engine benchmarks:
+// a dense 1000-node field (denser than the paper's strip, so broadcast
+// neighborhoods are large enough to shard) over a short horizon. The
+// serial and sharded runs produce byte-identical results — the
+// equivalence suites prove it — so the pair measures pure wall clock.
+func worldStepScenario(b *testing.B, engine Engine, parallelism int) *Scenario {
+	sc, err := NewScenario(
+		WithNodes(1000),
+		WithRange(100),
+		WithRegion(3000, 1000),
+		WithWorkload(UniformWorkload{Messages: 150, Rate: 20}),
+		WithSimTime(10),
+		WithEngine(engine),
+		WithParallelism(parallelism),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sc
+}
+
+// benchmarkWorldStep runs the scenario once per iteration.
+func benchmarkWorldStep(b *testing.B, engine Engine, parallelism int) {
+	sc := worldStepScenario(b, engine, parallelism)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sc.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DeliveryRatio, "delivery-ratio")
+	}
+}
+
+// BenchmarkWorldStepSerial is the serial-engine baseline at 1000 nodes.
+func BenchmarkWorldStepSerial(b *testing.B) {
+	benchmarkWorldStep(b, Engine{DisableSharding: true}, 0)
+}
+
+// BenchmarkWorldStepSharded runs the identical world on the sharded
+// engine with an automatic (GOMAXPROCS) worker pool; the gap to
+// BenchmarkWorldStepSerial is the within-run speedup the benchgate
+// baseline records. On a single-CPU host the automatic pool resolves
+// serial and the two benchmarks coincide.
+func BenchmarkWorldStepSharded(b *testing.B) {
+	benchmarkWorldStep(b, Engine{}, 0)
+}
 
 // BenchmarkSingleRunEpidemic is the epidemic counterpart.
 func BenchmarkSingleRunEpidemic(b *testing.B) {

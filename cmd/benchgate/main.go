@@ -35,7 +35,10 @@
 // depends on the host's core count in a way the single-threaded
 // calibration probe cannot normalize — are recorded in the baseline
 // for visibility but gate only on their (machine-independent) B/op and
-// allocs/op.
+// allocs/op. -skip-mem does the same for the memory metrics: benchmarks
+// whose allocation profile legitimately varies with the host — the
+// sharded world benchmarks size their worker pool (and its buffers)
+// from GOMAXPROCS — are recorded but not gated on B/op or allocs/op.
 package main
 
 import (
@@ -92,14 +95,21 @@ func main() {
 		out       = flag.String("out", "", "write the current digest (with verdicts in the note) to this path")
 		tolerance = flag.Float64("tolerance", 0.15, "allowed fractional regression per metric (ns/op normalized; B/op and allocs/op raw)")
 		skipNs    = flag.String("skip-ns", "", "regexp of benchmark names (sans Benchmark prefix) whose ns/op is informational only; memory metrics still gate")
+		skipMem   = flag.String("skip-mem", "", "regexp of benchmark names (sans Benchmark prefix) whose B/op and allocs/op are informational only (host-dependent allocation profiles)")
 	)
 	flag.Parse()
 
-	var skipNsRe *regexp.Regexp
+	var skipNsRe, skipMemRe *regexp.Regexp
 	if *skipNs != "" {
 		var err error
 		if skipNsRe, err = regexp.Compile(*skipNs); err != nil {
 			fatal(fmt.Errorf("bad -skip-ns regexp: %w", err))
+		}
+	}
+	if *skipMem != "" {
+		var err error
+		if skipMemRe, err = regexp.Compile(*skipMem); err != nil {
+			fatal(fmt.Errorf("bad -skip-mem regexp: %w", err))
 		}
 	}
 
@@ -127,7 +137,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	failures, report := compare(base, cur, *tolerance, skipNsRe)
+	failures, report := compare(base, cur, *tolerance, skipNsRe, skipMemRe)
 	cur.Note = report
 	if *out != "" {
 		if err := emit(*out, cur); err != nil {
@@ -231,8 +241,9 @@ func memVerdict(base, cur *float64, tolerance, slack float64) (regressed bool, d
 }
 
 // compare gates cur against base and renders a human-readable report.
-// Benchmarks matching skipNs gate on memory metrics only.
-func compare(base, cur File, tolerance float64, skipNs *regexp.Regexp) (failures []string, report string) {
+// Benchmarks matching skipNs gate on memory metrics only; benchmarks
+// matching skipMem gate on ns/op only (both ⇒ informational).
+func compare(base, cur File, tolerance float64, skipNs, skipMem *regexp.Regexp) (failures []string, report string) {
 	scale := 1.0
 	bc, okB := base.Benchmarks[calibrationName]
 	cc, okC := cur.Benchmarks[calibrationName]
@@ -262,14 +273,17 @@ func compare(base, cur File, tolerance float64, skipNs *regexp.Regexp) (failures
 		ratio := (ce.NsPerOp / scale) / be.NsPerOp
 		var problems []string
 		nsInformational := skipNs != nil && skipNs.MatchString(name)
+		memInformational := skipMem != nil && skipMem.MatchString(name)
 		if ratio > 1+tolerance && !nsInformational {
 			problems = append(problems, "ns/op")
 		}
-		if bad, detail := memVerdict(be.BytesPerOp, ce.BytesPerOp, tolerance, bytesSlack); bad {
-			problems = append(problems, "B/op "+detail)
-		}
-		if bad, detail := memVerdict(be.AllocsPerOp, ce.AllocsPerOp, tolerance, allocSlack); bad {
-			problems = append(problems, "allocs/op "+detail)
+		if !memInformational {
+			if bad, detail := memVerdict(be.BytesPerOp, ce.BytesPerOp, tolerance, bytesSlack); bad {
+				problems = append(problems, "B/op "+detail)
+			}
+			if bad, detail := memVerdict(be.AllocsPerOp, ce.AllocsPerOp, tolerance, allocSlack); bad {
+				problems = append(problems, "allocs/op "+detail)
+			}
 		}
 		verdict := "ok"
 		if len(problems) > 0 {
@@ -286,6 +300,9 @@ func compare(base, cur File, tolerance float64, skipNs *regexp.Regexp) (failures
 		}
 		if nsInformational {
 			note += " [ns/op informational]"
+		}
+		if memInformational {
+			note += " [mem informational]"
 		}
 		fmt.Fprintf(&b, "  %-10s %-28s %9.0f -> %9.0f ns/op (normalized %+.1f%%%s)%s\n",
 			verdict, name, be.NsPerOp, ce.NsPerOp, (ratio-1)*100, mem, note)

@@ -141,18 +141,45 @@
 //     tests in internal/core prove byte-identical end-to-end reports
 //     across every escape-hatch combination.
 //
+// On multi-core hosts a single run additionally executes on a sharded
+// engine: the region is partitioned into grid-cell stripes with halo
+// overlap of one radio range plus the index slack, a per-world worker
+// pool (internal/shard) evaluates the read-only parts of broadcast
+// reception resolution and of the GLR spanner precompute concurrently
+// by stripe, and every mutation commits on the single event-loop
+// goroutine in the exact order serial execution would have produced —
+// so sharded results are byte-identical to serial, not merely
+// statistically equivalent. WithParallelism sets the pool width (0 =
+// automatic, GOMAXPROCS; the Runner divides the machine between its
+// replication workers and each run's pool), and the engine escape
+// hatches — sharding included — are consolidated behind WithEngine:
+//
+//	sc, err := glr.NewScenario(
+//		glr.WithParallelism(4),                          // 4 shard workers
+//		glr.WithEngine(glr.Engine{DisableSharding: true}), // bitwise-legacy serial
+//	)
+//
+// Equivalence suites in internal/core and internal/sim compare sharded
+// runs against serial across every Engine combination and shard counts
+// 1/2/4/8 — including randomized mobile topologies whose traffic
+// deliberately straddles stripe boundaries — under the race detector,
+// asserting identical delivered-frame logs and identical end-to-end
+// reports. docs/ARCHITECTURE.md documents the stripe/halo geometry and
+// the determinism argument.
+//
 // The node-count scaling sweep (`glrexp -exp scale`) reports delivery,
-// wall-clock, spanner-construction time (cached vs from-scratch), and
+// wall-clock, spanner-construction time (cached vs from-scratch),
 // heap-allocation pressure (dense vs map-backed tables, via
-// runtime.ReadMemStats) for 100..1000-node scenarios at the paper's
-// density; at 1000 nodes the cached spanner path cuts construction
-// ~3.6× and the dense state plane removes over half of all heap
-// allocations. CI guards the hot paths with a benchmark-regression gate
-// (cmd/benchgate): spanner + medium + table + beacon-tick benchmarks
-// run five times with -benchmem, per-benchmark median ns/op is
-// normalized by a calibration probe while B/op and allocs/op gate raw,
-// and any >15% regression against the committed ci/bench_baseline.json
-// fails the build.
+// runtime.ReadMemStats), and serial-vs-sharded wall clock for
+// 100..1000-node scenarios at the paper's density; at 1000 nodes the
+// cached spanner path cuts construction ~3.6× and the dense state
+// plane removes over half of all heap allocations. CI guards the hot
+// paths with a benchmark-regression gate (cmd/benchgate): spanner +
+// medium + table + beacon-tick + world-step benchmarks run five times
+// with -benchmem, per-benchmark median ns/op is normalized by a
+// calibration probe while B/op and allocs/op gate raw, and any >15%
+// regression against the committed ci/bench_baseline.json fails the
+// build.
 package glr
 
 import (
@@ -472,7 +499,9 @@ func (cfg Config) Scenario() (*Scenario, error) {
 // buildFactory constructs the protocol factory shared by the scenario
 // builder and the legacy Config adapter, validating every knob (invalid
 // values error instead of passing through as "unset").
-func buildFactory(p Protocol, g *GLRConfig, e *EpidemicConfig) (sim.ProtocolFactory, error) {
+// disableSpannerCache threads Engine.DisableSpannerCache down to the GLR
+// core (a no-op for the epidemic baseline, which builds no spanners).
+func buildFactory(p Protocol, g *GLRConfig, e *EpidemicConfig, disableSpannerCache bool) (sim.ProtocolFactory, error) {
 	// Both knob sets validate regardless of the selected protocol:
 	// Runner.Compare runs the same scenario under either.
 	if err := g.validate(); err != nil {
@@ -497,6 +526,7 @@ func buildFactory(p Protocol, g *GLRConfig, e *EpidemicConfig) (sim.ProtocolFact
 		return epidemic.New(ec)
 	case GLR, "":
 		gc := core.DefaultConfig()
+		gc.DisableSpannerCache = disableSpannerCache
 		if o := g; o != nil {
 			if o.CheckInterval > 0 {
 				gc.CheckInterval = o.CheckInterval

@@ -67,7 +67,7 @@ func legacyRun(t *testing.T, cfg Config) metrics.Report {
 	if err != nil {
 		t.Fatalf("legacy scenario: %v", err)
 	}
-	factory, err := buildFactory(cfg.Protocol, cfg.GLRConfig, cfg.EpidemicConfig)
+	factory, err := buildFactory(cfg.Protocol, cfg.GLRConfig, cfg.EpidemicConfig, false)
 	if err != nil {
 		t.Fatalf("legacy factory: %v", err)
 	}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"glr/internal/metrics"
+	"glr/internal/sim"
+)
+
+// TestShardedRunEquivalence: across randomized mobile scenarios, a run on
+// the sharded engine — parallel reception verdicts plus speculative
+// spanner builds — must produce *identical* end-to-end results to the
+// serial engine at every worker count. Parallelism is forced (2/4/8)
+// rather than automatic so the property holds on single-CPU CI hosts
+// too. Any divergence means a worker observed or influenced simulation
+// state outside the byte-identity discipline.
+func TestShardedRunEquivalence(t *testing.T) {
+	const trials = 12
+	delivered := 0
+	specBuilds := uint64(0)
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed=%d", trial), func(t *testing.T) {
+			run := func(parallelism int, disable bool) metrics.Report {
+				factory, maint, err := NewInstrumented(equivConfig(trial, false))
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := equivScenario(trial)
+				s.Parallelism = parallelism
+				s.DisableSharding = disable
+				w, err := sim.NewWorld(s, factory)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep := w.Run()
+				specBuilds += maint.Stats().SpecBuilds
+				return rep
+			}
+			serial := run(0, true)
+			delivered += serial.Delivered
+			for _, workers := range []int{2, 4, 8} {
+				sharded := run(workers, false)
+				if !reflect.DeepEqual(serial, sharded) {
+					t.Fatalf("parallelism=%d diverged from serial:\n  serial:  %+v\n  sharded: %+v",
+						workers, serial, sharded)
+				}
+			}
+		})
+	}
+	if delivered == 0 {
+		t.Fatal("equivalence suite delivered nothing; scenarios too hostile to be meaningful")
+	}
+	if specBuilds == 0 {
+		t.Fatal("no sharded run launched a speculative spanner build; the engine never engaged")
+	}
+}
+
+// TestShardedFullStackEquivalence crosses the sharding escape hatch with
+// every other one — dense tables, spatial index, spanner cache — in all
+// sixteen combinations. Every combination must reproduce the all-fast
+// sharded run bit for bit, so any mix of reference paths and engines is
+// interchangeable.
+func TestShardedFullStackEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack flag cross is slow")
+	}
+	var first interface{}
+	var firstName string
+	for mask := 0; mask < 16; mask++ {
+		denseOff := mask&1 != 0
+		spatialOff := mask&2 != 0
+		spannerOff := mask&4 != 0
+		shardOff := mask&8 != 0
+		name := fmt.Sprintf("dense=%t spatial=%t spanner=%t shard=%t",
+			!denseOff, !spatialOff, !spannerOff, !shardOff)
+
+		cfg := equivConfig(2, spannerOff)
+		factory, _, err := NewInstrumented(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := equivScenario(2)
+		s.DisableDenseTables = denseOff
+		s.DisableSpatialIndex = spatialOff
+		s.DisableSharding = shardOff
+		if !shardOff {
+			s.Parallelism = 4 // force workers; auto may resolve serial on 1-CPU hosts
+		}
+		w, err := sim.NewWorld(s, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := w.Run()
+		if first == nil {
+			first, firstName = rep, name
+			continue
+		}
+		if !reflect.DeepEqual(first, rep) {
+			t.Fatalf("variant [%s] diverged from [%s]:\n  first: %+v\n  this:  %+v",
+				name, firstName, first, rep)
+		}
+	}
+}

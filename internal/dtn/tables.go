@@ -449,6 +449,64 @@ func (t *NeighborTable) AppendTwoHop(ids []int, pts []geom.Point, selfID int, se
 	return ids, pts
 }
 
+// AppendTwoHopAt is AppendTwoHop as the table will stand after
+// Expire(deadline): rows last seen at or before deadline are skipped —
+// along with their advertised neighbors — without being dropped. The
+// output is byte-identical to calling Expire(deadline) followed by
+// AppendTwoHop, but the table itself is not mutated (only the dense
+// backend's dedup marks advance, which no reader observes), so callers
+// may preview the view a future route check will build without
+// disturbing the run. Not safe for concurrent use, like every
+// NeighborTable method.
+func (t *NeighborTable) AppendTwoHopAt(ids []int, pts []geom.Point, selfID int, selfPos geom.Point, deadline float64) ([]int, []geom.Point) {
+	ids = append(ids, selfID)
+	pts = append(pts, selfPos)
+	if t.dense() {
+		t.markGen++
+		t.markSeen(selfID)
+		for _, id := range t.live {
+			r := &t.rows[id]
+			if r.LastSeen <= deadline {
+				continue
+			}
+			if !t.seen(id) {
+				t.markSeen(id)
+				ids = append(ids, id)
+				pts = append(pts, r.Pos)
+			}
+			for _, nn := range r.Neighbors {
+				if t.seen(nn.ID) {
+					continue
+				}
+				t.markSeen(nn.ID)
+				ids = append(ids, nn.ID)
+				pts = append(pts, nn.Pos)
+			}
+		}
+		return ids, pts
+	}
+	seen := map[int]struct{}{selfID: {}}
+	for _, r := range t.Snapshot() {
+		if r.LastSeen <= deadline {
+			continue
+		}
+		if _, dup := seen[r.ID]; !dup {
+			seen[r.ID] = struct{}{}
+			ids = append(ids, r.ID)
+			pts = append(pts, r.Pos)
+		}
+		for _, nn := range r.Neighbors {
+			if _, dup := seen[nn.ID]; dup {
+				continue
+			}
+			seen[nn.ID] = struct{}{}
+			ids = append(ids, nn.ID)
+			pts = append(pts, nn.Pos)
+		}
+	}
+	return ids, pts
+}
+
 // seen reports whether id was already emitted in the current AppendTwoHop
 // pass (dense backend).
 func (t *NeighborTable) seen(id int) bool {

@@ -3,9 +3,11 @@ package ldt
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"glr/internal/geom"
+	"glr/internal/shard"
 )
 
 // Variant selects which local routing graph a Maintainer query builds.
@@ -23,12 +25,14 @@ const (
 // spent inside Neighbors calls (the protocol's whole spanner-construction
 // cost), so cached and from-scratch runs are directly comparable.
 type SpannerStats struct {
-	Queries    uint64 // Neighbors calls
-	ResultHits uint64 // whole-query (view-level) cache hits
-	TriBuilds  uint64 // witness triangulations built
-	TriHits    uint64 // witness triangulations reused from the cache
-	Evictions  uint64 // cache entries dropped by the sweep
-	BuildTime  time.Duration
+	Queries     uint64 // Neighbors calls
+	ResultHits  uint64 // whole-query (view-level) cache hits
+	TriBuilds   uint64 // witness triangulations built
+	TriHits     uint64 // witness triangulations reused from the cache
+	Evictions   uint64 // cache entries dropped by the sweep
+	SpecBuilds  uint64 // speculative builds launched on the worker pool
+	SpecAdopted uint64 // queries answered by adopting a speculative build
+	BuildTime   time.Duration
 }
 
 // TriHitRate returns the fraction of witness-triangulation lookups served
@@ -48,6 +52,8 @@ func (s *SpannerStats) Add(o SpannerStats) {
 	s.TriBuilds += o.TriBuilds
 	s.TriHits += o.TriHits
 	s.Evictions += o.Evictions
+	s.SpecBuilds += o.SpecBuilds
+	s.SpecAdopted += o.SpecAdopted
 	s.BuildTime += o.BuildTime
 }
 
@@ -103,32 +109,13 @@ type resEntry struct {
 	lastHit float64
 }
 
-// Maintainer is the persistent successor to per-call spanner
-// construction: it keys witness triangulations and whole accepted-
-// neighbor results by exact (member-id, position) signatures and reuses
-// them across check intervals, across witnesses, and across every node of
-// a world (one Maintainer is shared per simulation; it is single-threaded
-// like the event loop that owns it).
-//
-// Correctness never depends on invalidation: a signature covers the exact
-// positions that produced an entry, so changed inputs can only miss.
-// Invalidation is hygiene — Observe feeds the freshest beaconed position
-// per node, and a periodic sweep drops entries that reference superseded
-// coordinates (once no longer queried; a node's stale 2-hop knowledge
-// may lag the freshest beacon) or that have idled past cacheTTL.
-type Maintainer struct {
-	disabled bool
+// buildCtx is the scratch state one spanner build needs: the mesh
+// triangulator plus adjacency/BFS/sort buffers, reused across queries.
+// The Maintainer owns one for the event-loop query path; in concurrent
+// mode each speculative build borrows one from a pool, so builds never
+// share scratch.
+type buildCtx struct {
 	tr       *geom.Triangulator
-
-	tris    map[uint64][]*triEntry
-	results map[uint64][]*resEntry
-	lastPos map[int]geom.Point
-
-	lastSweep float64
-	prevSweep float64
-	stats     SpannerStats
-
-	// scratch, reused across queries (see ldtgNeighbors)
 	order    []int
 	adj      [][]int
 	seen     []uint32
@@ -140,17 +127,74 @@ type Maintainer struct {
 	accepted []int
 }
 
+func newBuildCtx() *buildCtx { return &buildCtx{tr: geom.NewTriangulator()} }
+
+// Maintainer is the persistent successor to per-call spanner
+// construction: it keys witness triangulations and whole accepted-
+// neighbor results by exact (member-id, position) signatures and reuses
+// them across check intervals, across witnesses, and across every node of
+// a world (one Maintainer is shared per simulation; it is single-threaded
+// like the event loop that owns it, until EnableConcurrent attaches a
+// worker pool for speculative builds — then the shared caches go behind
+// a mutex while query results stay byte-identical).
+//
+// Correctness never depends on invalidation: a signature covers the exact
+// positions that produced an entry, so changed inputs can only miss.
+// Invalidation is hygiene — Observe feeds the freshest beaconed position
+// per node, and a periodic sweep drops entries that reference superseded
+// coordinates (once no longer queried; a node's stale 2-hop knowledge
+// may lag the freshest beacon) or that have idled past cacheTTL.
+type Maintainer struct {
+	disabled bool
+	ctx      *buildCtx // event-loop build scratch
+
+	// Concurrent mode (EnableConcurrent): pool runs speculative builds,
+	// mu guards tris/results/specs/stats/lastPos, ctxPool lends scratch
+	// to workers.
+	concurrent bool
+	pool       *shard.Pool
+	mu         sync.Mutex
+	ctxPool    sync.Pool
+	specs      map[uint64][]*specEntry
+
+	tris    map[uint64][]*triEntry
+	results map[uint64][]*resEntry
+	lastPos map[int]geom.Point
+
+	lastSweep float64
+	prevSweep float64
+	stats     SpannerStats
+}
+
 // NewMaintainer returns an empty cache. disabled selects the from-scratch
 // reference path for every query (the pre-cache behavior, kept behind
 // core's Config.DisableSpannerCache); stats are still collected so the
 // two modes are comparable.
 func NewMaintainer(disabled bool) *Maintainer {
-	return &Maintainer{
+	m := &Maintainer{
 		disabled: disabled,
-		tr:       geom.NewTriangulator(),
+		ctx:      newBuildCtx(),
 		tris:     make(map[uint64][]*triEntry),
 		results:  make(map[uint64][]*resEntry),
 		lastPos:  make(map[int]geom.Point),
+		specs:    make(map[uint64][]*specEntry),
+	}
+	m.ctxPool.New = func() any { return newBuildCtx() }
+	return m
+}
+
+// lock/unlock guard the shared caches. Outside concurrent mode every
+// caller is the event loop, so they collapse to no-ops and the serial
+// query path stays lock-free.
+func (m *Maintainer) lock() {
+	if m.concurrent {
+		m.mu.Lock()
+	}
+}
+
+func (m *Maintainer) unlock() {
+	if m.concurrent {
+		m.mu.Unlock()
 	}
 }
 
@@ -158,10 +202,16 @@ func NewMaintainer(disabled bool) *Maintainer {
 func (m *Maintainer) Disabled() bool { return m.disabled }
 
 // Stats returns the accumulated counters.
-func (m *Maintainer) Stats() SpannerStats { return m.stats }
+func (m *Maintainer) Stats() SpannerStats {
+	m.lock()
+	defer m.unlock()
+	return m.stats
+}
 
 // Size returns the live entry counts (triangulations, results).
 func (m *Maintainer) Size() (tris, results int) {
+	m.lock()
+	defer m.unlock()
 	for _, b := range m.tris {
 		tris += len(b)
 	}
@@ -177,6 +227,8 @@ func (m *Maintainer) Observe(id int, pos geom.Point) {
 	if m.disabled {
 		return
 	}
+	m.lock()
+	defer m.unlock()
 	if last, ok := m.lastPos[id]; ok && last.Eq(pos) {
 		return
 	}
@@ -192,20 +244,32 @@ func (m *Maintainer) Observe(id int, pos geom.Point) {
 // them (the routing loop reads them within one route check).
 func (m *Maintainer) Neighbors(view *LocalView, variant Variant, k int, now float64) ([]int, []geom.Point, error) {
 	start := time.Now()
-	defer func() { m.stats.BuildTime += time.Since(start) }()
-	m.stats.Queries++
-
+	defer func() {
+		m.lock()
+		m.stats.BuildTime += time.Since(start)
+		m.unlock()
+	}()
 	if m.disabled {
+		m.stats.Queries++
 		return m.fromScratch(view, variant, k)
 	}
-	m.maybeSweep(now)
-
 	sig := sigViewQuery(view, variant, k)
+	m.lock()
+	m.stats.Queries++
+	m.maybeSweep(now)
 	for _, e := range m.results[sig] {
 		if e.matches(view, variant, k) {
 			e.lastHit = now
 			m.stats.ResultHits++
+			m.unlock()
 			return e.accIDs, e.accPts, nil
+		}
+	}
+	m.unlock()
+
+	if m.concurrent {
+		if ids, pts, ok := m.adoptSpec(view, variant, k, now, sig); ok {
+			return ids, pts, nil
 		}
 	}
 
@@ -217,7 +281,7 @@ func (m *Maintainer) Neighbors(view *LocalView, variant Variant, k int, now floa
 	case VariantUDG:
 		local = view.UDGNeighbors()
 	default:
-		local, err = m.ldtgNeighbors(view, k, now)
+		local, err = m.ldtgNeighbors(m.ctx, view, k, now)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -239,7 +303,9 @@ func (m *Maintainer) Neighbors(view *LocalView, variant Variant, k int, now floa
 		accPts:  accPts,
 		lastHit: now,
 	}
+	m.lock()
 	m.results[sig] = append(m.results[sig], e)
+	m.unlock()
 	return e.accIDs, e.accPts, nil
 }
 
@@ -276,32 +342,32 @@ func (m *Maintainer) fromScratch(view *LocalView, variant Variant, k int) ([]int
 // the view's unit-disk topology: adjacency lists and BFS buffers live on
 // the Maintainer, which profiling shows matters as much as the
 // triangulation itself once the mesh construction is cheap.
-func (m *Maintainer) ldtgNeighbors(view *LocalView, k int, now float64) ([]int, error) {
+func (m *Maintainer) ldtgNeighbors(c *buildCtx, view *LocalView, k int, now float64) ([]int, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("ldt: k must be ≥ 1, got %d", k)
 	}
-	m.buildAdjacency(view)
+	c.buildAdjacency(view)
 
-	selfNbrs := m.adj[0] // ascending local indices
+	selfNbrs := c.adj[0] // ascending local indices
 	witnesses := len(selfNbrs) + 1
-	wit := m.wit[:0]
+	wit := c.wit[:0]
 	for i := 0; i < witnesses; i++ {
 		w := 0
 		if i > 0 {
 			w = selfNbrs[i-1]
 		}
-		e, err := m.triangulation(view, m.khop(w, k), now)
+		e, err := m.triangulation(c, view, c.khop(w, k), now)
 		if err != nil {
-			m.wit = wit
+			c.wit = wit
 			return nil, err
 		}
 		wit = append(wit, e)
 	}
-	m.wit = wit
+	c.wit = wit
 
 	selfID := view.IDs[0]
 	self := wit[0]
-	accepted := m.accepted[:0]
+	accepted := c.accepted[:0]
 	for _, nb := range selfNbrs {
 		nbID := view.IDs[nb]
 		if !self.hasEdge(selfID, nbID) {
@@ -324,127 +390,153 @@ func (m *Maintainer) ldtgNeighbors(view *LocalView, k int, now float64) ([]int, 
 			accepted = append(accepted, nb)
 		}
 	}
-	m.accepted = accepted
+	c.accepted = accepted
 	return accepted, nil
 }
 
-// buildAdjacency fills m.adj with the view's unit-disk adjacency lists
+// buildAdjacency fills c.adj with the view's unit-disk adjacency lists
 // (ascending local indices), reusing the backing arrays.
-func (m *Maintainer) buildAdjacency(view *LocalView) {
+func (c *buildCtx) buildAdjacency(view *LocalView) {
 	n := len(view.Pts)
-	for len(m.adj) < n {
-		m.adj = append(m.adj, nil)
+	for len(c.adj) < n {
+		c.adj = append(c.adj, nil)
 	}
 	for i := 0; i < n; i++ {
-		m.adj[i] = m.adj[i][:0]
+		c.adj[i] = c.adj[i][:0]
 	}
 	r2 := view.R * view.R
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if view.Pts[i].Dist2(view.Pts[j]) <= r2 {
-				m.adj[i] = append(m.adj[i], j)
-				m.adj[j] = append(m.adj[j], i)
+				c.adj[i] = append(c.adj[i], j)
+				c.adj[j] = append(c.adj[j], i)
 			}
 		}
 	}
 }
 
-// khop returns the local indices within graph distance k of w over m.adj,
+// khop returns the local indices within graph distance k of w over c.adj,
 // including w, in scratch storage valid until the next khop call.
-func (m *Maintainer) khop(w, k int) []int {
-	n := len(m.adj)
-	for len(m.seen) < n {
-		m.seen = append(m.seen, 0)
+func (c *buildCtx) khop(w, k int) []int {
+	n := len(c.adj)
+	for len(c.seen) < n {
+		c.seen = append(c.seen, 0)
 	}
-	m.seenGen++
-	gen := m.seenGen
-	m.members = m.members[:0]
-	m.queue = m.queue[:0]
-	m.seen[w] = gen
-	m.members = append(m.members, w)
-	m.queue = append(m.queue, w)
-	for depth := 0; depth < k && len(m.queue) > 0; depth++ {
-		next := len(m.members)
-		for _, u := range m.queue {
-			for _, v := range m.adj[u] {
-				if m.seen[v] != gen {
-					m.seen[v] = gen
-					m.members = append(m.members, v)
+	c.seenGen++
+	gen := c.seenGen
+	c.members = c.members[:0]
+	c.queue = c.queue[:0]
+	c.seen[w] = gen
+	c.members = append(c.members, w)
+	c.queue = append(c.queue, w)
+	for depth := 0; depth < k && len(c.queue) > 0; depth++ {
+		next := len(c.members)
+		for _, u := range c.queue {
+			for _, v := range c.adj[u] {
+				if c.seen[v] != gen {
+					c.seen[v] = gen
+					c.members = append(c.members, v)
 				}
 			}
 		}
-		m.queue = append(m.queue[:0], m.members[next:]...)
+		c.queue = append(c.queue[:0], c.members[next:]...)
 	}
-	return m.members
+	return c.members
 }
 
 // triangulation returns the Delaunay edge set over the positions of the
 // given view members (local indices), from the cache when an entry with
-// the same (id, position) set exists.
-func (m *Maintainer) triangulation(view *LocalView, members []int, now float64) (*triEntry, error) {
+// the same (id, position) set exists. A triangulation's content is a
+// pure function of its canonical sorted member list, so in concurrent
+// mode the event loop and the speculation workers may share one cache:
+// whoever builds first inserts (with a double-check under the lock), and
+// every later lookup returns the byte-identical entry it would have
+// built itself.
+func (m *Maintainer) triangulation(c *buildCtx, view *LocalView, members []int, now float64) (*triEntry, error) {
 	// Normalize: members sorted by global id. Insertion sort instead of
 	// sort.Slice: witness neighborhoods are small (tens of members),
 	// global ids are unique (ties impossible), and the closure +
 	// reflection swapper of sort.Slice would allocate on every
 	// triangulation lookup — the routing loop's hottest call.
-	m.order = append(m.order[:0], members...)
-	for i := 1; i < len(m.order); i++ {
-		li := m.order[i]
+	c.order = append(c.order[:0], members...)
+	for i := 1; i < len(c.order); i++ {
+		li := c.order[i]
 		key := view.IDs[li]
 		j := i - 1
-		for j >= 0 && view.IDs[m.order[j]] > key {
-			m.order[j+1] = m.order[j]
+		for j >= 0 && view.IDs[c.order[j]] > key {
+			c.order[j+1] = c.order[j]
 			j--
 		}
-		m.order[j+1] = li
+		c.order[j+1] = li
 	}
 
-	sig := sigMembers(view, m.order)
+	sig := sigMembers(view, c.order)
+	m.lock()
 	for _, e := range m.tris[sig] {
-		if e.matchesMembers(view, m.order) {
-			e.lastHit = now
+		if e.matchesMembers(view, c.order) {
+			if now > e.lastHit {
+				e.lastHit = now
+			}
 			m.stats.TriHits++
+			m.unlock()
 			return e, nil
 		}
 	}
 	m.stats.TriBuilds++
+	m.unlock()
 
-	ids := make([]int, len(m.order))
-	pts := make([]geom.Point, len(m.order))
-	idx := make(map[int]int, len(m.order))
-	byCoord := make(map[geom.Point]int, len(m.order))
-	m.sub = m.sub[:0]
-	for i, li := range m.order {
+	ids := make([]int, len(c.order))
+	pts := make([]geom.Point, len(c.order))
+	idx := make(map[int]int, len(c.order))
+	byCoord := make(map[geom.Point]int, len(c.order))
+	c.sub = c.sub[:0]
+	for i, li := range c.order {
 		ids[i] = view.IDs[li]
 		pts[i] = view.Pts[li]
 		si, dup := byCoord[pts[i]]
 		if !dup {
-			si = len(m.sub)
+			si = len(c.sub)
 			byCoord[pts[i]] = si
-			m.sub = append(m.sub, pts[i])
+			c.sub = append(c.sub, pts[i])
 		}
 		idx[ids[i]] = si
 	}
-	edges, err := m.delaunayEdges(m.sub)
+	edges, err := c.delaunayEdges(c.sub)
 	if err != nil {
 		return nil, err
 	}
 	e := &triEntry{ids: ids, pts: pts, edges: edges, idx: idx, lastHit: now}
+	m.lock()
+	if m.concurrent {
+		// Double-check: a concurrent build may have inserted the same
+		// canonical entry while ours ran. Keep the first; both are
+		// byte-identical.
+		for _, e2 := range m.tris[sig] {
+			if e2.matchesMembers(view, c.order) {
+				if now > e2.lastHit {
+					e2.lastHit = now
+				}
+				m.unlock()
+				return e2, nil
+			}
+		}
+	}
 	m.tris[sig] = append(m.tris[sig], e)
+	m.unlock()
 	return e, nil
 }
 
 // delaunayEdges triangulates sub (distinct points) and packs the edge set,
 // preserving DelaunayGraph's degenerate semantics (n < 3 or collinear
 // inputs connect in path order).
-func (m *Maintainer) delaunayEdges(sub []geom.Point) (map[uint64]struct{}, error) {
-	tri, err := m.tr.Triangulate(sub)
+func (c *buildCtx) delaunayEdges(sub []geom.Point) (map[uint64]struct{}, error) {
+	tri, err := c.tr.Triangulate(sub)
 	if err != nil {
 		return nil, err
 	}
 	if len(tri.Triangles) == 0 {
 		// Degenerate: defer to the graph construction's path-order limit.
-		g, err := m.tr.Graph(sub)
+		g, err := c.tr.Graph(sub)
 		if err != nil {
 			return nil, err
 		}
@@ -470,11 +562,13 @@ func (m *Maintainer) delaunayEdges(sub []geom.Point) (map[uint64]struct{}, error
 }
 
 // maybeSweep evicts idle and superseded entries at most once per
-// sweepEvery simulated seconds.
+// sweepEvery simulated seconds. Called with the cache locked (in
+// concurrent mode).
 func (m *Maintainer) maybeSweep(now float64) {
 	if now-m.lastSweep < sweepEvery {
 		return
 	}
+	m.sweepSpecs(now)
 	m.prevSweep, m.lastSweep = m.lastSweep, now
 	for sig, bucket := range m.tris {
 		keep := bucket[:0]

@@ -20,6 +20,8 @@ import (
 
 	"glr/internal/des"
 	"glr/internal/geom"
+	"glr/internal/phy"
+	"glr/internal/shard"
 	"glr/internal/spatial"
 )
 
@@ -170,6 +172,15 @@ type Medium struct {
 	candEpoch   uint64          // dedup stamp for txCand gathering
 	batch       []*transmission // airings ending at the tick being resolved
 	txFree      []*transmission // recycled transmission objects
+
+	// Sharded reception (nil pool = serial). Broadcast verdicts are
+	// computed in parallel over stripe shards; see SetPool.
+	pool    *shard.Pool
+	stripes spatial.Stripes
+	rxIDs   []int        // in-range receivers of the airing being resolved
+	rxPts   []geom.Point // their observed positions, same order
+	rxShard []int        // their stripe indices, same order
+	rxBad   []bool       // verdict slots: true = corrupted
 }
 
 // takeTx returns a recycled (or fresh) transmission object. Recycling is
@@ -212,6 +223,31 @@ func NewMedium(sched *des.Scheduler, cfg Config, seed int64) (*Medium, error) {
 		}
 	}
 	return m, nil
+}
+
+// shardedRxMin is the smallest in-range candidate count worth forking:
+// below it the fork-join overhead of a parallel section outweighs the
+// verdict work.
+const shardedRxMin = 8
+
+// SetPool attaches a shard worker pool for parallel broadcast-reception
+// verdicts and declares the region width the stripe shards partition.
+// Receivers are grouped into vertical stripes at least one halo
+// (reception range + IndexSlack, see phy.HaloWidth) wide; each stripe's
+// interference verdicts — pure reads of state that is frozen while the
+// event loop blocks on the join — are computed by one worker, and every
+// mutation (position refreshes before, stats/deliveries after) stays on
+// the event loop in exactly the serial enumeration order. Results are
+// therefore byte-identical to the serial path; the pool only shortens
+// the wall clock. A nil or single-worker pool, or the naive
+// (DisableSpatialIndex) medium, keeps the serial path.
+func (m *Medium) SetPool(p *shard.Pool, regionW float64) {
+	if p == nil || p.Workers() < 2 || m.radioIdx == nil {
+		m.pool = nil
+		return
+	}
+	m.pool = p
+	m.stripes = spatial.NewStripes(regionW, phy.HaloWidth(m.cfg.Range, m.cfg.IndexSlack), p.Workers())
 }
 
 // Config returns the medium configuration.
@@ -585,12 +621,84 @@ func (m *Medium) finishTransmission(t *transmission) bool {
 	// the naive path's id order; the delivered frame set is identical
 	// either way.
 	m.scratch = m.radioIdx.NearIDs(t.pos, m.cfg.Range+m.cfg.IndexSlack, m.scratch[:0])
+	if m.pool != nil && len(m.scratch) >= shardedRxMin {
+		m.finishBroadcastSharded(t)
+		return false
+	}
 	for _, id := range m.scratch {
 		if id != t.from.id {
 			m.deliverTo(t, m.radios[id])
 		}
 	}
 	return false
+}
+
+// finishBroadcastSharded resolves a broadcast's receptions in three
+// phases so the interference verdicts can run on the worker pool while
+// everything observable stays in serial order:
+//
+//  1. Serial enumeration, in index order: observe each candidate's
+//     position (mobility legs extend lazily, so this must stay on the
+//     event loop in the serial order), drop out-of-range candidates, and
+//     refresh in-range receivers' grid cells — exactly the reads and
+//     writes the serial loop's deliverTo prelude does, in its order.
+//  2. Parallel verdicts: corruptedAt per in-range receiver, grouped by
+//     stripe shard. Verdict inputs (txCand, per-radio airing histories,
+//     positions observed in phase 1) are immutable while the event loop
+//     blocks on the join, and each verdict writes only its own slot, so
+//     the phase is race-free and its outputs equal the serial path's —
+//     deliveries committed mid-batch can never flip a verdict, because
+//     a transmission starting at the batch tick cannot overlap one
+//     ending at it, and txCand was gathered before any commit either
+//     way.
+//  3. Serial commit, again in enumeration order: stats, receive counts,
+//     and onRecv callbacks (protocol code — queues, carrier sensing —
+//     that must see the same interleaving as the serial engine).
+func (m *Medium) finishBroadcastSharded(t *transmission) {
+	r2 := m.cfg.Range * m.cfg.Range
+	m.rxIDs, m.rxPts, m.rxShard = m.rxIDs[:0], m.rxPts[:0], m.rxShard[:0]
+	for _, id := range m.scratch {
+		if id == t.from.id {
+			continue
+		}
+		r := m.radios[id]
+		p := r.pos()
+		if t.pos.Dist2(p) > r2 {
+			continue
+		}
+		if m.cfg.IndexSlack > 0 {
+			m.radioIdx.Update(id, p)
+		}
+		m.rxIDs = append(m.rxIDs, id)
+		m.rxPts = append(m.rxPts, p)
+		m.rxShard = append(m.rxShard, m.stripes.Of(p.X))
+	}
+	if len(m.rxIDs) == 0 {
+		return
+	}
+	m.rxBad = m.rxBad[:0]
+	for range m.rxIDs {
+		m.rxBad = append(m.rxBad, false)
+	}
+	m.pool.Run(m.stripes.Count(), func(s int) {
+		for i, id := range m.rxIDs {
+			if m.rxShard[i] == s {
+				m.rxBad[i] = m.corruptedAt(t, id, m.rxPts[i])
+			}
+		}
+	})
+	for i, id := range m.rxIDs {
+		if m.rxBad[i] {
+			m.stats.Collisions++
+			continue
+		}
+		r := m.radios[id]
+		m.stats.Delivered++
+		r.recvCount++
+		if r.onRecv != nil {
+			r.onRecv(t.frame)
+		}
+	}
 }
 
 // deliverTo attempts reception of t at radio r and reports success. As a

@@ -9,6 +9,7 @@ import (
 	"glr/internal/mac"
 	"glr/internal/metrics"
 	"glr/internal/mobility"
+	"glr/internal/shard"
 )
 
 // Protocol is the routing-protocol hook set. The GLR implementation lives
@@ -118,6 +119,23 @@ func (n *Node) Neighbors() *dtn.NeighborTable {
 
 // Locations returns the node's location table (§2.3.1 diffusion state).
 func (n *Node) Locations() *dtn.LocationTable { return n.locations }
+
+// ShardPool exposes the world's shard worker pool, nil when the run is
+// serial (Scenario.DisableSharding, Parallelism 1, or a single-CPU
+// automatic resolution). Protocols may use it for speculative read-only
+// work; everything that mutates simulation state stays on the event
+// goroutine.
+func (n *Node) ShardPool() *shard.Pool { return n.world.pool }
+
+// AppendTwoHopAt appends the node's two-hop neighborhood as it will look
+// at the (future or present) instant `at` — the rows that will not have
+// expired by then plus this node's own predicted position — without
+// mutating the table. It feeds speculative spanner builds: the preview
+// is byte-identical to what Neighbors().AppendTwoHop would return at
+// `at` provided no beacon arrives in between.
+func (n *Node) AppendTwoHopAt(ids []int, pts []geom.Point, at float64) ([]int, []geom.Point) {
+	return n.neighbors.AppendTwoHopAt(ids, pts, n.id, n.mob.Position(at), at-n.world.cfg.NeighborExpiry)
+}
 
 // OraclePosition returns the true current position of any node. It backs
 // the paper's evaluation assumptions ("source knows the true destination

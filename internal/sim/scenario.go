@@ -7,6 +7,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"glr/internal/mac"
 	"glr/internal/mobility"
@@ -92,6 +93,19 @@ type Scenario struct {
 	// core.Config.DisableSpannerCache). Results are identical; the
 	// node-count sweep uses it to measure allocation pressure.
 	DisableDenseTables bool
+
+	// Parallelism bounds the world's shard worker pool — the within-run
+	// parallel engine behind sharded reception verdicts and speculative
+	// spanner builds. 0 means automatic (GOMAXPROCS); 1 forces serial
+	// stepping. Results are byte-identical at every setting; only the
+	// wall clock changes.
+	Parallelism int
+
+	// DisableSharding pins the run to the fully serial engine regardless
+	// of Parallelism — the escape hatch mirroring DisableSpatialIndex /
+	// DisableDenseTables for the sharded stepping work. Results are
+	// identical; equivalence tests and the node-count sweep use it.
+	DisableSharding bool
 }
 
 // DefaultScenario returns the paper's Table-1 baseline at the given
@@ -134,6 +148,8 @@ func (s Scenario) Validate() error {
 			s.NeighborExpiry, s.BeaconInterval)
 	case s.StorageLimit < 0:
 		return fmt.Errorf("sim: storage limit %d must be nonnegative", s.StorageLimit)
+	case s.Parallelism < 0:
+		return fmt.Errorf("sim: parallelism %d must be nonnegative", s.Parallelism)
 	}
 	switch s.Mobility {
 	case MobilityWaypoint, MobilityStatic:
@@ -170,6 +186,19 @@ func (s Scenario) Validate() error {
 		}
 	}
 	return nil
+}
+
+// shardWorkers resolves the effective worker count of the shard pool:
+// 1 (serial) when sharding is disabled, GOMAXPROCS when Parallelism is
+// automatic, the configured bound otherwise.
+func (s Scenario) shardWorkers() int {
+	if s.DisableSharding {
+		return 1
+	}
+	if s.Parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return s.Parallelism
 }
 
 // maxDriftSpeed returns the fastest any node can move, for sizing the

@@ -9,6 +9,7 @@ import (
 	"glr/internal/mac"
 	"glr/internal/metrics"
 	"glr/internal/mobility"
+	"glr/internal/shard"
 )
 
 // ProtocolFactory builds one protocol instance per node.
@@ -22,6 +23,10 @@ type World struct {
 	nodes     []*Node
 	collector *metrics.Collector
 	rng       *rand.Rand
+
+	// pool is the shard worker pool for within-run parallelism (nil =
+	// serial engine); see Scenario.Parallelism / DisableSharding.
+	pool *shard.Pool
 
 	// Free lists (the internal/des pattern) for the per-send objects of
 	// the hot path: broadcast hellos with their payload buffers, and
@@ -104,6 +109,15 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 	w.medium, err = mac.NewMedium(w.sched, macCfg, cfg.Seed^0x5eed)
 	if err != nil {
 		return nil, err
+	}
+	if workers := cfg.shardWorkers(); workers > 1 {
+		// The sharded engine: a worker pool shared by the medium (parallel
+		// reception verdicts) and the protocols (speculative spanner
+		// builds, via Node.ShardPool). Results stay byte-identical to the
+		// serial engine — see internal/shard's package doc for the
+		// discipline that guarantees it.
+		w.pool = shard.NewPool(workers)
+		w.medium.SetPool(w.pool, cfg.Region.W)
 	}
 
 	models, err := w.buildMobility()
@@ -261,9 +275,22 @@ func (w *World) Config() Scenario { return w.cfg }
 // may alternatively step the Scheduler directly for partial runs.
 func (w *World) Run() metrics.Report {
 	w.sched.Run(w.cfg.SimTime)
+	w.closePool()
 	// Final storage sample at the horizon.
 	for i, n := range w.nodes {
 		w.collector.SampleStorage(i, n.proto.StorageUsed())
 	}
 	return w.collector.Report()
+}
+
+// closePool releases the shard workers; idempotent, and safe mid-run
+// (the pool degrades to inline execution once closed). Run and the
+// context-cancelled path of Scenario.RunContext both call it; tests that
+// step the Scheduler directly may leave workers parked until exit, which
+// is harmless.
+func (w *World) closePool() {
+	if w.pool != nil {
+		w.pool.Close()
+		w.pool = nil
+	}
 }

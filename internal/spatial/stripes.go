@@ -1,0 +1,61 @@
+package spatial
+
+// Stripes partitions a region's width into vertical shard stripes of
+// whole halo-width cells. Each stripe is at least one halo wide, so a
+// point's radio neighborhood (reception range + index slack) reaches at
+// most into the two adjacent stripes — the invariant the sharded
+// reception path relies on to keep per-stripe verdict work disjoint
+// while boundary receivers are still committed in the global serial
+// order (see docs/ARCHITECTURE.md).
+//
+// The zero Stripes is a single stripe covering everything.
+type Stripes struct {
+	cell      float64 // column width, ≥ halo
+	perStripe int     // halo columns per stripe
+	count     int
+}
+
+// NewStripes partitions width metres into at most shards stripes whose
+// widths are whole multiples of halo. Degenerate inputs (non-positive
+// width or halo, shards < 2, or a region narrower than two halos)
+// collapse to a single stripe.
+func NewStripes(width, halo float64, shards int) Stripes {
+	if width <= 0 || halo <= 0 || shards < 2 {
+		return Stripes{}
+	}
+	cols := int(width / halo)
+	if cols < 2 {
+		return Stripes{}
+	}
+	per := (cols + shards - 1) / shards
+	count := (cols + per - 1) / per
+	if count < 2 {
+		return Stripes{}
+	}
+	return Stripes{cell: halo, perStripe: per, count: count}
+}
+
+// Count returns the number of stripes (≥ 1).
+func (s Stripes) Count() int {
+	if s.count == 0 {
+		return 1
+	}
+	return s.count
+}
+
+// Of returns the stripe index of x-coordinate x, clamped into range so
+// points that drift outside the declared region still map to the edge
+// stripes.
+func (s Stripes) Of(x float64) int {
+	if s.count == 0 {
+		return 0
+	}
+	i := int(x/s.cell) / s.perStripe
+	if i < 0 {
+		return 0
+	}
+	if i >= s.count {
+		return s.count - 1
+	}
+	return i
+}

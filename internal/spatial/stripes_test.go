@@ -1,0 +1,69 @@
+package spatial
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestStripesInvariants: for randomized widths/halos/shard counts, every
+// stripe is at least one halo wide, stripe indices are monotone in x,
+// the whole width is covered, and the stripe count respects the request.
+func TestStripesInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		width := 100 + rng.Float64()*5000
+		halo := 20 + rng.Float64()*400
+		shards := 2 + rng.Intn(15)
+		s := NewStripes(width, halo, shards)
+		if s.Count() > shards {
+			t.Fatalf("width=%.0f halo=%.0f shards=%d: got %d stripes", width, halo, shards, s.Count())
+		}
+		if s.Count() < 1 {
+			t.Fatalf("stripe count %d < 1", s.Count())
+		}
+		prev := 0
+		for x := 0.0; x <= width; x += width / 997 {
+			i := s.Of(x)
+			if i < 0 || i >= s.Count() {
+				t.Fatalf("Of(%.2f) = %d out of [0,%d)", x, i, s.Count())
+			}
+			if i < prev {
+				t.Fatalf("stripe index decreased: Of(%.2f) = %d after %d", x, i, prev)
+			}
+			prev = i
+		}
+		if s.Count() > 1 {
+			// Minimum stripe width: each stripe spans whole halo columns,
+			// so consecutive x values mapping to different stripes must be
+			// at least one halo apart when probed at column granularity.
+			if got := s.cell * float64(s.perStripe); got < halo {
+				t.Fatalf("stripe width %.2f < halo %.2f", got, halo)
+			}
+		}
+		// Out-of-region points clamp to the edge stripes.
+		if s.Of(-10) != 0 {
+			t.Fatalf("Of(-10) = %d, want 0", s.Of(-10))
+		}
+		if s.Of(width*2) != s.Count()-1 {
+			t.Fatalf("Of(2w) = %d, want %d", s.Of(width*2), s.Count()-1)
+		}
+	}
+}
+
+// TestStripesDegenerate: hostile inputs collapse to one stripe.
+func TestStripesDegenerate(t *testing.T) {
+	for _, s := range []Stripes{
+		{},
+		NewStripes(0, 50, 4),
+		NewStripes(100, 0, 4),
+		NewStripes(100, 60, 4), // fewer than two halo columns
+		NewStripes(500, 50, 1),
+	} {
+		if s.Count() != 1 {
+			t.Fatalf("degenerate stripes got count %d", s.Count())
+		}
+		if s.Of(123) != 0 {
+			t.Fatalf("degenerate Of = %d", s.Of(123))
+		}
+	}
+}

@@ -30,6 +30,60 @@ type Scenario struct {
 	glrCfg    *GLRConfig
 	epiCfg    *EpidemicConfig
 	observers []*Observer
+
+	parallelism int // WithParallelism: 0 = auto, 1 = serial
+	engine      Engine
+}
+
+// Engine selects the execution engine for a scenario's runs — the
+// consolidated escape-hatch surface. Every field is a "disable" switch
+// restoring a reference implementation; results are byte-identical in
+// every combination (equivalence tests in internal/core assert it), so
+// the engine only changes speed and allocation pressure, never outcomes.
+// The zero value is the full fast path: sharded stepping, grid spatial
+// index, shared spanner cache, dense tables.
+type Engine struct {
+	// DisableSharding pins runs to the fully serial engine regardless of
+	// WithParallelism: no worker pool, no parallel reception verdicts, no
+	// speculative spanner builds.
+	DisableSharding bool
+	// DisableSpatialIndex resolves receptions and carrier sensing with
+	// naive O(n) scans instead of the uniform-grid index.
+	DisableSpatialIndex bool
+	// DisableSpannerCache rebuilds every route check's spanner from
+	// scratch with the reference construction instead of the shared
+	// ldt.Maintainer.
+	DisableSpannerCache bool
+	// DisableDenseTables backs neighbor/location tables with the
+	// map-based reference implementation instead of dense id-indexed
+	// arrays.
+	DisableDenseTables bool
+}
+
+// WithEngine selects the execution engine (default: the zero Engine —
+// all fast paths on). See Engine for the switches and docs/MIGRATION.md
+// for the mapping from the scattered internal flags this consolidates.
+func WithEngine(e Engine) Option {
+	return func(s *Scenario) error {
+		s.engine = e
+		return nil
+	}
+}
+
+// WithParallelism bounds the per-run shard worker pool: n workers step
+// the world's sharded phases concurrently. 0 (the default) sizes the
+// pool automatically to GOMAXPROCS; 1 forces serial execution. Results
+// are byte-identical at every setting — parallelism only changes wall
+// clock. Runner caps each replication's pool so combined workers across
+// concurrent replications stay within GOMAXPROCS.
+func WithParallelism(n int) Option {
+	return func(s *Scenario) error {
+		if n < 0 {
+			return fmt.Errorf("glr: parallelism %d must be nonnegative", n)
+		}
+		s.parallelism = n
+		return nil
+	}
 }
 
 // Option configures a Scenario under construction.
@@ -272,6 +326,10 @@ func (s *Scenario) compile(seed int64) (sim.Scenario, sim.ProtocolFactory, error
 		scn.Region.W, scn.Region.H = s.width, s.height
 	}
 	scn.StorageLimit = s.storageLimit
+	scn.Parallelism = s.parallelism
+	scn.DisableSharding = s.engine.DisableSharding
+	scn.DisableSpatialIndex = s.engine.DisableSpatialIndex
+	scn.DisableDenseTables = s.engine.DisableDenseTables
 
 	// Workload generators draw random pairs over scn.N; reject
 	// degenerate sizes before they schedule (a one-trajectory Trace can
@@ -317,7 +375,7 @@ func (s *Scenario) compile(seed int64) (sim.Scenario, sim.ProtocolFactory, error
 	if err := scn.Validate(); err != nil {
 		return sim.Scenario{}, nil, err
 	}
-	factory, err := buildFactory(s.protocol, s.glrCfg, s.epiCfg)
+	factory, err := buildFactory(s.protocol, s.glrCfg, s.epiCfg, s.engine.DisableSpannerCache)
 	if err != nil {
 		return sim.Scenario{}, nil, err
 	}
