@@ -7,16 +7,16 @@ SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -c
 
 # Benchmarks under the CI regression gate (spanner construction + MAC
-# medium + dense node-state plane + beacon tick + the parallel Runner
-# sweep + the serial/sharded world-step pair + the calibration probe
-# benchgate normalizes by). The gate covers ns/op
-# (calibration-normalized) and, from -benchmem, B/op and allocs/op
-# (raw).
-BENCH_GATE_PATTERN := BenchmarkSpanner|BenchmarkDelaunay|BenchmarkMedium|BenchmarkNeighborTable|BenchmarkBeaconTick|BenchmarkRunner|BenchmarkWorldStep|BenchmarkCalibration
-BENCH_GATE_PKGS := . ./internal/geom ./internal/ldt ./internal/mac ./internal/dtn ./internal/sim
+# medium + dense node-state plane + beacon tick + the event-core
+# scheduler pair + the parallel Runner sweep + the serial/sharded
+# world-step pair + the calibration probe benchgate normalizes by). The
+# gate covers ns/op (calibration-normalized) and, from -benchmem, B/op
+# and allocs/op (raw).
+BENCH_GATE_PATTERN := BenchmarkSpanner|BenchmarkDelaunay|BenchmarkMedium|BenchmarkNeighborTable|BenchmarkBeaconTick|BenchmarkScheduler|BenchmarkRunner|BenchmarkWorldStep|BenchmarkCalibration
+BENCH_GATE_PKGS := . ./internal/geom ./internal/ldt ./internal/mac ./internal/dtn ./internal/des ./internal/sim
 BENCH_GATE_FLAGS := -benchmem -count 5 -benchtime 0.3s -run '^$$'
 
-.PHONY: build test test-short bench bench-gate bench-baseline api api-check doc-check atlas atlas-check atlas-golden fmt vet ci
+.PHONY: build test test-short bench bench-gate bench-baseline mem-gate api api-check doc-check atlas atlas-check atlas-golden fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -53,6 +53,14 @@ bench-gate:
 bench-baseline:
 	$(GO) test -bench '$(BENCH_GATE_PATTERN)' $(BENCH_GATE_FLAGS) $(BENCH_GATE_PKGS) | tee bench.txt
 	$(GO) run ./cmd/benchgate -in bench.txt -write ci/bench_baseline.json
+
+## mem-gate is the CI memory-ceiling job: run the 10k-node giant scale
+## tier (fast path vs heap event core, byte-identity asserted inside
+## the sweep) and fail if its sampled peak heap exceeds the committed
+## per-scenario ceiling in ci/mem_budget.json.
+mem-gate:
+	$(GO) run ./cmd/glrexp -exp scale -sizes 10000 -memreport memreport.json | tee scale-giant.txt
+	$(GO) run ./cmd/benchgate -gate-mem-ceiling memreport.json -mem-budget ci/mem_budget.json
 
 ## api regenerates the committed public-API surface (api/glr.txt). Run
 ## it — and commit the diff — whenever a public-API change is
@@ -123,3 +131,4 @@ ci: build
 	$(GO) test -race -short ./...
 	$(MAKE) atlas-check
 	$(MAKE) bench-gate
+	$(MAKE) mem-gate

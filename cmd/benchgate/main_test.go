@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGateMemCeiling pins the -gate-mem-ceiling verdicts: under-ceiling
+// passes, over-ceiling fails, and a budgeted scenario missing from the
+// measurement fails (silently dropping a tier must not pass the gate).
+func TestGateMemCeiling(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	budget := write("budget.json", `{"ceilings": {"scale-10000": 1000000, "scale-100000": 5000000}}`)
+
+	ok := write("ok.json", `{
+		"scale-10000":  {"n": 10000,  "peak_heap_bytes": 900000,  "wall_ms": 100},
+		"scale-100000": {"n": 100000, "peak_heap_bytes": 4000000, "wall_ms": 900},
+		"scale-5000":   {"n": 5000,   "peak_heap_bytes": 9000000, "wall_ms": 50}
+	}`)
+	failures, report, err := gateMemCeiling(ok, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("under-ceiling run failed the gate: %v\n%s", failures, report)
+	}
+	if !strings.Contains(report, "unbudgeted") {
+		t.Fatalf("unbudgeted scenario not reported:\n%s", report)
+	}
+
+	over := write("over.json", `{
+		"scale-10000":  {"n": 10000,  "peak_heap_bytes": 1000001, "wall_ms": 100},
+		"scale-100000": {"n": 100000, "peak_heap_bytes": 4000000, "wall_ms": 900}
+	}`)
+	failures, report, err = gateMemCeiling(over, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || failures[0] != "scale-10000" {
+		t.Fatalf("over-ceiling failures = %v\n%s", failures, report)
+	}
+
+	missing := write("missing.json", `{
+		"scale-10000": {"n": 10000, "peak_heap_bytes": 900000, "wall_ms": 100}
+	}`)
+	failures, _, err = gateMemCeiling(missing, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || failures[0] != "scale-100000" {
+		t.Fatalf("missing-scenario failures = %v", failures)
+	}
+
+	if _, _, err := gateMemCeiling(ok, write("empty.json", `{"ceilings": {}}`)); err == nil {
+		t.Fatal("empty budget accepted")
+	}
+}

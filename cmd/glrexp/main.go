@@ -9,10 +9,17 @@
 //	glrexp -exp tab6 -scale paper
 //	glrexp -all
 //	glrexp -exp scale -sizes 500 -runs 1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	glrexp -exp scale -sizes 10000 -memreport mem.json
+//
+// -sizes entries at or above experiments.GiantTierNodes run the reduced
+// giant-world protocol (GiantSweep): fast path vs heap event core, one
+// run each, peak-heap sampling. -memreport writes their machine-readable
+// digest for cmd/benchgate's -gate-mem-ceiling CI gate.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -53,6 +60,7 @@ func run() error {
 		runs       = flag.Int("runs", 0, "scale experiment only: override replications per point (the sweep caps this at 3; see NodeCountSweep)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		memreport  = flag.String("memreport", "", "scale experiment only: write the giant-tier peak-heap/wall-clock digest (JSON) to this file")
 	)
 	flag.Parse()
 
@@ -98,7 +106,7 @@ func run() error {
 	defer stop()
 
 	runOne := func(id string) error {
-		out, err := runExperiment(ctx, id, sc, progress, *sizes, *runs)
+		out, err := runExperiment(ctx, id, sc, progress, *sizes, *runs, *memreport)
 		if err != nil {
 			return err
 		}
@@ -123,10 +131,12 @@ func run() error {
 }
 
 // runExperiment dispatches one artifact; the scale sweep honours the
-// -sizes/-runs overrides (the CI profile job runs a single 500-node
-// point).
-func runExperiment(ctx context.Context, id string, sc glr.Scale, progress func(string, ...any), sizes string, runs int) (string, error) {
-	if id != "scale" || (sizes == "" && runs == 0) {
+// -sizes/-runs/-memreport overrides (the CI profile job runs a single
+// 500-node point; the CI memory-ceiling job a single 10k-node giant
+// point). Sizes at or above experiments.GiantTierNodes route to the
+// reduced giant-world protocol.
+func runExperiment(ctx context.Context, id string, sc glr.Scale, progress func(string, ...any), sizes string, runs int, memreport string) (string, error) {
+	if id != "scale" || (sizes == "" && runs == 0 && memreport == "") {
 		return glr.RunExperimentContext(ctx, id, sc, progress)
 	}
 	o := experiments.QuickOptions()
@@ -142,11 +152,39 @@ func runExperiment(ctx context.Context, id string, sc glr.Scale, progress func(s
 	if err != nil {
 		return "", err
 	}
-	res, err := experiments.NodeCountSweep(o, sz)
-	if err != nil {
-		return "", err
+	var small, giant []int
+	for _, n := range sz {
+		if n >= experiments.GiantTierNodes {
+			giant = append(giant, n)
+		} else {
+			small = append(small, n)
+		}
 	}
-	return res.Render(), nil
+	var out strings.Builder
+	if len(small) > 0 || sizes == "" {
+		res, err := experiments.NodeCountSweep(o, small)
+		if err != nil {
+			return "", err
+		}
+		out.WriteString(res.Render())
+	}
+	gres := &experiments.GiantResult{}
+	if len(giant) > 0 {
+		if gres, err = experiments.GiantSweep(o, giant); err != nil {
+			return "", err
+		}
+		out.WriteString(gres.Render())
+	}
+	if memreport != "" {
+		data, err := json.MarshalIndent(gres.MemReport(), "", "  ")
+		if err != nil {
+			return "", err
+		}
+		if err := os.WriteFile(memreport, append(data, '\n'), 0o644); err != nil {
+			return "", err
+		}
+	}
+	return out.String(), nil
 }
 
 // parseSizes parses "500" or "250,1000" ("" means the default sweep).

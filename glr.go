@@ -167,6 +167,24 @@
 // reports. docs/ARCHITECTURE.md documents the stripe/halo geometry and
 // the determinism argument.
 //
+// The event core itself is a calendar queue (internal/des): events hash
+// into day buckets by timestamp, dequeue scans the current year of
+// buckets behind a cursor, and the bucket count and day width track the
+// live population, so schedule/cancel/dispatch stay O(1) amortized
+// where the reference binary heap pays O(log n) per operation at
+// 10k–100k pending events (BenchmarkSchedulerCalendar vs
+// BenchmarkSchedulerHeap, ~10⁶ resident events). Dispatch follows the
+// exact (time, seq) total order both backends share, so calendar and
+// heap runs are byte-identical, not merely statistically equivalent.
+// Two more giant-world levers ride on it: beacons aggregate into one
+// pending event per occupied grid cell (members fire in phase order
+// under a ring cursor), collapsing the dominant event population, and
+// above 2048 nodes the per-node tables switch from dense id-indexed
+// arrays to compact slot-mapped rows (dtn.NewCompactNeighborTable) so
+// table memory is O(neighborhood) per node instead of O(world).
+// Engine.DisableCalendarQueue and Engine.DisableBeaconAggregation
+// restore the reference heap and per-node tickers.
+//
 // The node-count scaling sweep (`glrexp -exp scale`) reports delivery,
 // wall-clock, spanner-construction time (cached vs from-scratch),
 // heap-allocation pressure (dense vs map-backed tables, via

@@ -59,23 +59,24 @@ func TestShardedRunEquivalence(t *testing.T) {
 }
 
 // TestShardedFullStackEquivalence crosses the sharding escape hatch with
-// every other one — dense tables, spatial index, spanner cache — in all
-// sixteen combinations. Every combination must reproduce the all-fast
-// sharded run bit for bit, so any mix of reference paths and engines is
-// interchangeable.
+// every other one — dense tables, spatial index, spanner cache, calendar
+// queue — in all thirty-two combinations. Every combination must
+// reproduce the all-fast sharded run bit for bit, so any mix of
+// reference paths and engines is interchangeable.
 func TestShardedFullStackEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full-stack flag cross is slow")
 	}
 	var first interface{}
 	var firstName string
-	for mask := 0; mask < 16; mask++ {
+	for mask := 0; mask < 32; mask++ {
 		denseOff := mask&1 != 0
 		spatialOff := mask&2 != 0
 		spannerOff := mask&4 != 0
 		shardOff := mask&8 != 0
-		name := fmt.Sprintf("dense=%t spatial=%t spanner=%t shard=%t",
-			!denseOff, !spatialOff, !spannerOff, !shardOff)
+		calendarOff := mask&16 != 0
+		name := fmt.Sprintf("dense=%t spatial=%t spanner=%t shard=%t calendar=%t",
+			!denseOff, !spatialOff, !spannerOff, !shardOff, !calendarOff)
 
 		cfg := equivConfig(2, spannerOff)
 		factory, _, err := NewInstrumented(cfg)
@@ -86,6 +87,7 @@ func TestShardedFullStackEquivalence(t *testing.T) {
 		s.DisableDenseTables = denseOff
 		s.DisableSpatialIndex = spatialOff
 		s.DisableSharding = shardOff
+		s.DisableCalendarQueue = calendarOff
 		if !shardOff {
 			s.Parallelism = 4 // force workers; auto may resolve serial on 1-CPU hosts
 		}

@@ -1,0 +1,280 @@
+package des
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// schedulerBackends names the two queue backends every cross-backend test
+// drives.
+var schedulerBackends = []struct {
+	name string
+	mk   func() *Scheduler
+}{
+	{"calendar", NewScheduler},
+	{"heap", NewHeapScheduler},
+}
+
+// TestPendingCounter is the regression test for the O(1) Pending
+// counter: it must track schedule, cancel, and dispatch exactly, on both
+// backends.
+func TestPendingCounter(t *testing.T) {
+	for _, backend := range schedulerBackends {
+		t.Run(backend.name, func(t *testing.T) {
+			s := backend.mk()
+			if s.Pending() != 0 {
+				t.Fatalf("fresh scheduler Pending = %d, want 0", s.Pending())
+			}
+			ids := make([]EventID, 0, 100)
+			for i := 0; i < 100; i++ {
+				ids = append(ids, s.At(Time(i), func() {}))
+			}
+			if s.Pending() != 100 {
+				t.Fatalf("Pending = %d after 100 At, want 100", s.Pending())
+			}
+			for i := 0; i < 30; i++ {
+				s.Cancel(ids[i*3]) // cancel 30 distinct events
+			}
+			if s.Pending() != 70 {
+				t.Fatalf("Pending = %d after 30 cancels, want 70", s.Pending())
+			}
+			s.Cancel(ids[0]) // double cancel: no-op
+			s.Cancel(0)      // zero id: no-op
+			if s.Pending() != 70 {
+				t.Fatalf("Pending = %d after no-op cancels, want 70", s.Pending())
+			}
+			s.Run(49.5) // dispatches the live events among ids[0..49]
+			live := 0
+			for i := 50; i < 100; i++ {
+				if i%3 != 0 || i/3 >= 30 {
+					live++
+				}
+			}
+			if s.Pending() != live {
+				t.Fatalf("Pending = %d after partial run, want %d", s.Pending(), live)
+			}
+			s.RunAll()
+			if s.Pending() != 0 {
+				t.Fatalf("Pending = %d after RunAll, want 0", s.Pending())
+			}
+		})
+	}
+}
+
+// TestCanceledReclamation is the schedule/cancel-churn stress test for
+// the canceled-event-retention fix: canceled events used to sit in the
+// heap until dispatch reached them, so a workload that cancels nearly
+// everything it schedules grew the queue without bound. Cancel now
+// reclaims eagerly, so after any churn the resident queue holds exactly
+// the live events — and the survivors must still fire in order.
+func TestCanceledReclamation(t *testing.T) {
+	for _, backend := range schedulerBackends {
+		t.Run(backend.name, func(t *testing.T) {
+			s := backend.mk()
+			rng := rand.New(rand.NewSource(7))
+			var fired []Time
+			keepEvery := 100
+			kept := 0
+			for i := 0; i < 20000; i++ {
+				at := rng.Float64() * 1000
+				id := s.At(at, func() { fired = append(fired, s.Now()) })
+				if i%keepEvery == 0 {
+					kept++
+					continue
+				}
+				s.Cancel(id)
+			}
+			// 200 live events remain out of 20000 scheduled; eager
+			// reclamation means the resident queue holds exactly those.
+			if size := s.q.size(); size != kept {
+				t.Fatalf("queue holds %d events after churn, want exactly %d live", size, kept)
+			}
+			s.RunAll()
+			if len(fired) != kept {
+				t.Fatalf("fired %d events, want %d survivors", len(fired), kept)
+			}
+			for i := 1; i < len(fired); i++ {
+				if fired[i] < fired[i-1] {
+					t.Fatalf("out-of-order dispatch after compaction: %v then %v", fired[i-1], fired[i])
+				}
+			}
+		})
+	}
+}
+
+// traceEntry is one dispatched event in a recorded run: which scheduled
+// event fired, and when. Equal traces mean equal (time, seq) dispatch
+// sequences, since labels are assigned in scheduling order.
+type traceEntry struct {
+	label int
+	at    Time
+}
+
+// replayScript drives one scheduler through a randomized mixed
+// At/After/Cancel/Stop/Run workload derived deterministically from seed,
+// recording the dispatch trace. Handlers themselves schedule and cancel,
+// so the workload exercises in-dispatch mutation too.
+func replayScript(s *Scheduler, seed int64) (trace []traceEntry, finalNow Time, pending int, processed uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	var ids []EventID
+	label := 0
+	schedule := func(at Time) {
+		l := label
+		label++
+		var id EventID
+		id = s.At(at, func() {
+			trace = append(trace, traceEntry{label: l, at: s.Now()})
+			switch rng.Intn(4) {
+			case 0: // schedule a follow-up relative to now
+				ll := label
+				label++
+				ids = append(ids, s.After(rng.Float64()*10, func() {
+					trace = append(trace, traceEntry{label: ll, at: s.Now()})
+				}))
+			case 1: // cancel a random earlier event
+				if len(ids) > 0 {
+					s.Cancel(ids[rng.Intn(len(ids))])
+				}
+			case 2: // occasionally stop mid-run
+				if rng.Intn(8) == 0 {
+					s.Stop()
+				}
+			}
+			_ = id
+		})
+		ids = append(ids, id)
+	}
+	for round := 0; round < 6; round++ {
+		n := 5 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			schedule(s.Now() + rng.Float64()*50)
+		}
+		for i := 0; i < n/4; i++ {
+			s.Cancel(ids[rng.Intn(len(ids))])
+		}
+		s.Run(s.Now() + rng.Float64()*40)
+	}
+	s.RunAll()
+	return trace, s.Now(), s.Pending(), s.Processed()
+}
+
+// TestCalendarHeapDispatchEquality is the randomized equivalence
+// property: under mixed At/After/Cancel/Stop workloads the calendar queue
+// must dispatch exactly the same (time, seq) sequence as the reference
+// heap. Labels are assigned in scheduling (seq) order, and rng draws
+// happen inside handlers, so any ordering divergence derails the whole
+// trace.
+func TestCalendarHeapDispatchEquality(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		calTrace, calNow, calPending, calProc := replayScript(NewScheduler(), seed)
+		heapTrace, heapNow, heapPending, heapProc := replayScript(NewHeapScheduler(), seed)
+		if !reflect.DeepEqual(calTrace, heapTrace) {
+			i := 0
+			for i < len(calTrace) && i < len(heapTrace) && calTrace[i] == heapTrace[i] {
+				i++
+			}
+			t.Fatalf("seed %d: dispatch traces diverge at entry %d (calendar %d entries, heap %d)",
+				seed, i, len(calTrace), len(heapTrace))
+		}
+		if calNow != heapNow || calPending != heapPending || calProc != heapProc {
+			t.Fatalf("seed %d: final state diverges: now %v/%v pending %d/%d processed %d/%d",
+				seed, calNow, heapNow, calPending, heapPending, calProc, heapProc)
+		}
+		if len(calTrace) == 0 {
+			t.Fatalf("seed %d dispatched nothing; script too hostile to be meaningful", seed)
+		}
+	}
+}
+
+// TestCalendarResizeStress walks the calendar through its resize policy —
+// growth past many doublings, drain back down, clustered, simultaneous,
+// and sparse far-future time distributions — and checks exact dispatch
+// order (time order, FIFO within an instant) throughout.
+func TestCalendarResizeStress(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  func(rng *rand.Rand, i int) Time
+	}{
+		{"uniform", func(rng *rand.Rand, i int) Time { return rng.Float64() * 1000 }},
+		{"clustered", func(rng *rand.Rand, i int) Time { return float64(i/500) + rng.Float64()*1e-6 }},
+		{"simultaneous", func(rng *rand.Rand, i int) Time { return float64(i % 7) }},
+		{"sparse", func(rng *rand.Rand, i int) Time { return rng.Float64() * 1e8 }},
+		{"bimodal", func(rng *rand.Rand, i int) Time {
+			if i%2 == 0 {
+				return rng.Float64()
+			}
+			return 1e6 + rng.Float64()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewScheduler()
+			rng := rand.New(rand.NewSource(11))
+			const n = 5000
+			want := make([]dispatchKey, 0, n)
+			var got []dispatchKey
+			for i := 0; i < n; i++ {
+				at := tc.gen(rng, i)
+				k := dispatchKey{at: at, seq: i}
+				want = append(want, k)
+				s.At(at, func() { got = append(got, k) })
+			}
+			s.RunAll()
+			// Expected order: stable sort by time (stability = FIFO among
+			// simultaneous events, since want is in scheduling order).
+			sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("dispatch order diverged from (time, seq) order (%d events)", n)
+			}
+		})
+	}
+}
+
+// dispatchKey identifies one scheduled event in the resize stress test.
+type dispatchKey struct {
+	at  Time
+	seq int
+}
+
+// benchScheduler measures a steady-state schedule/cancel/dispatch mix at
+// one million pending events: each operation schedules two future events,
+// cancels one live event, and dispatches one event (handlers Stop the
+// scheduler, so Run delivers exactly one dispatch). Net queue change per
+// operation is zero, so the pending population holds at exactly 2^20
+// throughout — the regime where the heap's O(log n) sift paths hurt and
+// the calendar queue's O(1) shows. Cancel targets come from a small ring
+// of recently scheduled ids: the ring entry being replaced was scheduled
+// ~1024 operations earlier into a 2^20-deep queue, so it is still
+// pending when canceled.
+func benchScheduler(b *testing.B, mk func() *Scheduler) {
+	s := mk()
+	rng := rand.New(rand.NewSource(1))
+	const population = 1 << 20 // ~1e6 pending events
+	const span = 1000.0        // seconds of event spread
+	const ringSize = 1 << 10
+	stop := func() { s.Stop() }
+	var ring [ringSize]EventID
+	for i := 0; i < population; i++ {
+		ring[i&(ringSize-1)] = s.After(rng.Float64()*span, stop)
+	}
+	// Pre-draw the schedule offsets so the measured loop is scheduler
+	// operations, not rng arithmetic.
+	times := make([]float64, 1<<16)
+	for i := range times {
+		times[i] = rng.Float64() * span
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Cancel(ring[i&(ringSize-1)])
+		ring[i&(ringSize-1)] = s.After(times[(2*i)&(len(times)-1)], stop)
+		s.After(times[(2*i+1)&(len(times)-1)], stop)
+		s.Run(s.Now() + span) // Stop fires after one dispatch
+	}
+}
+
+func BenchmarkSchedulerHeap(b *testing.B) { benchScheduler(b, NewHeapScheduler) }
+
+func BenchmarkSchedulerCalendar(b *testing.B) { benchScheduler(b, NewScheduler) }

@@ -1,6 +1,7 @@
 // Package des implements the discrete-event simulation core: a simulated
-// clock, an event heap with deterministic tie-breaking, and cancellable
-// timers. It replaces the NS-2 scheduler the paper's evaluation ran on.
+// clock, a calendar-queue event core with deterministic tie-breaking, and
+// cancellable timers. It replaces the NS-2 scheduler the paper's
+// evaluation ran on.
 //
 // Simulated time is a float64 number of seconds (des.Time). This is a
 // deliberate, documented deviation from the "use time.Duration" guideline:
@@ -9,6 +10,14 @@
 // Events scheduled for the same instant fire in scheduling order (a
 // monotone sequence number breaks ties), so a run is bit-reproducible for a
 // given seed.
+//
+// Two event-queue backends share the Scheduler: the calendar queue
+// (NewScheduler, O(1) amortized schedule/dispatch; see calqueue.go) and
+// the reference binary heap (NewHeapScheduler, O(log n) per operation).
+// Both dispatch in exactly the same strict (time, seq) order — seq is
+// unique, so the order is total and has no implementation-defined ties —
+// which makes runs byte-identical across backends. The simulator selects
+// the backend via sim.Scenario.DisableCalendarQueue.
 package des
 
 import (
@@ -25,38 +34,90 @@ type Time = float64
 type Handler func()
 
 // EventID identifies a scheduled event for cancellation. The zero EventID
-// is invalid and safe to Cancel (a no-op).
+// is invalid and safe to Cancel (a no-op). IDs encode an arena slot and a
+// per-slot generation, so Cancel resolves its event with one array index —
+// no id→event map on the scheduling hot path.
 type EventID uint64
 
 type event struct {
-	at       Time
-	seq      uint64 // tie-break: FIFO among simultaneous events
-	id       EventID
-	fn       Handler
-	canceled bool
-	index    int // heap index, -1 once popped
+	at    Time
+	seq   uint64 // tie-break: FIFO among simultaneous events
+	fn    Handler
+	next  *event // bucket-chain link (calendar backend only)
+	slot  int32  // permanent index into Scheduler.slots
+	gen   uint32 // bumped on release, so stale EventIDs miss
+	index int32  // heap index, -1 once popped (heap backend only)
+}
+
+// mkEventID packs an event's arena slot and generation. slot+1 keeps every
+// valid id nonzero even at generation zero.
+func mkEventID(slot int32, gen uint32) EventID {
+	return EventID(uint64(slot+1)<<32 | uint64(gen))
+}
+
+// eventLess is the one dispatch order both queue backends implement:
+// strictly increasing (at, seq).
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventQueue is the priority-queue abstraction behind the Scheduler: a
+// min-queue over the total order eventLess. Implementations must return
+// events in exactly that order so runs stay byte-identical across
+// backends.
+type eventQueue interface {
+	push(ev *event)
+	// peek returns the minimum event without removing it, nil when empty.
+	peek() *event
+	// pop removes and returns the minimum event, nil when empty.
+	pop() *event
+	// size returns the number of resident events.
+	size() int
+	// remove unlinks a resident event (O(1) amortized for the calendar,
+	// O(log n) for the heap). The caller guarantees ev is resident.
+	remove(ev *event)
 }
 
 // Scheduler is a discrete-event scheduler. The zero value is not usable;
-// call NewScheduler.
+// call NewScheduler (calendar queue) or NewHeapScheduler (reference
+// binary heap).
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	nextID  EventID
-	pq      eventHeap
-	byID    map[EventID]*event
-	free    []*event // recycled event objects
+	now Time
+	seq uint64
+	q   eventQueue
+	// slots is the event arena: every event object ever created, indexed
+	// by its permanent slot. Cancel decodes an EventID to (slot, gen) and
+	// resolves it with one bounds-checked array read.
+	slots []*event
+	free  []*event // recycled event objects (resident in slots too)
+	// slab is the tail of the current allocation block: events are carved
+	// from 1024-event slabs so a large pending set lives in a few
+	// contiguous blocks (fewer GC objects, better locality for bucket
+	// chains) instead of a million scattered allocations.
+	slab    []event
 	stopped bool
 	// processed counts events actually dispatched (excluding canceled).
 	processed uint64
+	// live counts events scheduled and not yet fired or canceled, so
+	// Pending is O(1) instead of a queue scan.
+	live int
 }
 
-// NewScheduler returns a scheduler with the clock at 0.
+// NewScheduler returns a calendar-queue scheduler with the clock at 0.
 func NewScheduler() *Scheduler {
-	return &Scheduler{
-		byID:   make(map[EventID]*event),
-		nextID: 1,
-	}
+	return &Scheduler{q: newCalendarQueue()}
+}
+
+// NewHeapScheduler returns a scheduler backed by the reference binary
+// heap instead of the calendar queue. Dispatch order — and therefore
+// every simulation result — is byte-identical to NewScheduler; only
+// per-operation cost differs. It backs the DisableCalendarQueue escape
+// hatch and the equivalence tests.
+func NewHeapScheduler() *Scheduler {
+	return &Scheduler{q: &heapQueue{}}
 }
 
 // Now returns the current simulated time.
@@ -66,16 +127,8 @@ func (s *Scheduler) Now() Time { return s.now }
 func (s *Scheduler) Processed() uint64 { return s.processed }
 
 // Pending returns the number of events scheduled and not yet fired or
-// canceled.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, ev := range s.pq {
-		if !ev.canceled {
-			n++
-		}
-	}
-	return n
-}
+// canceled, in O(1).
+func (s *Scheduler) Pending() int { return s.live }
 
 // At schedules fn to run at absolute time t. Scheduling in the past (t <
 // Now) panics: it is always a logic error in a discrete-event model.
@@ -91,22 +144,32 @@ func (s *Scheduler) At(t Time, fn Handler) EventID {
 		ev = s.free[n-1]
 		s.free = s.free[:n-1]
 	} else {
-		ev = &event{}
+		if len(s.slab) == 0 {
+			s.slab = make([]event, 1024)
+		}
+		ev = &s.slab[0]
+		s.slab = s.slab[1:]
+		ev.slot = int32(len(s.slots))
+		s.slots = append(s.slots, ev)
 	}
-	*ev = event{at: t, seq: s.seq, id: s.nextID, fn: fn}
+	ev.at = t
+	ev.seq = s.seq
+	ev.fn = fn
 	s.seq++
-	s.nextID++
-	s.byID[ev.id] = ev
-	heap.Push(&s.pq, ev)
-	return ev.id
+	s.q.push(ev)
+	s.live++
+	return mkEventID(ev.slot, ev.gen)
 }
 
 // release returns a popped event to the free list. Events are
 // single-use: once popped (dispatched or canceled) nothing else holds a
 // reference, so recycling them removes the dominant per-event
-// allocation from simulation hot loops.
+// allocation from simulation hot loops. Bumping the generation
+// invalidates every EventID minted for the event's previous life, so a
+// stale Cancel misses instead of revoking the slot's next tenant.
 func (s *Scheduler) release(ev *event) {
 	ev.fn = nil // drop the closure reference while pooled
+	ev.gen++
 	s.free = append(s.free, ev)
 }
 
@@ -118,13 +181,25 @@ func (s *Scheduler) After(d float64, fn Handler) EventID {
 // Cancel revokes a scheduled event. Canceling an already-fired, already-
 // canceled, or zero id is a no-op. It reports whether an event was actually
 // revoked.
+//
+// Canceled events are unlinked from the queue and reclaimed immediately
+// (they used to sit in the heap until dispatch reached them), so a
+// schedule/cancel churn workload cannot grow the queue at all: the
+// resident queue holds exactly the live events.
 func (s *Scheduler) Cancel(id EventID) bool {
-	ev, ok := s.byID[id]
-	if !ok || ev.canceled {
+	slot := int(id>>32) - 1
+	if slot < 0 || slot >= len(s.slots) {
 		return false
 	}
-	ev.canceled = true
-	delete(s.byID, id)
+	ev := s.slots[slot]
+	// A generation mismatch means the id belongs to an earlier life of
+	// this slot: the event already fired or was already canceled.
+	if ev.gen != uint32(id) {
+		return false
+	}
+	s.q.remove(ev)
+	s.live--
+	s.release(ev)
 	return true
 }
 
@@ -136,20 +211,15 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // still fire; the clock never exceeds until.
 func (s *Scheduler) Run(until Time) {
 	s.stopped = false
-	for len(s.pq) > 0 && !s.stopped {
-		ev := s.pq[0]
-		if ev.canceled {
-			heap.Pop(&s.pq)
-			s.release(ev)
-			continue
-		}
-		if ev.at > until {
+	for !s.stopped {
+		ev := s.q.peek()
+		if ev == nil || ev.at > until {
 			break
 		}
-		heap.Pop(&s.pq)
-		delete(s.byID, ev.id)
+		s.q.pop()
 		s.now = ev.at
 		s.processed++
+		s.live--
 		fn := ev.fn
 		s.release(ev)
 		fn()
@@ -166,27 +236,51 @@ func (s *Scheduler) Run(until Time) {
 // tests; simulations should prefer Run with a horizon.
 func (s *Scheduler) RunAll() { s.Run(math.Inf(1)) }
 
+// heapQueue is the reference eventQueue: a binary heap ordered by
+// eventLess. It was the original event core and is retained behind
+// NewHeapScheduler as the equivalence baseline for the calendar queue.
+type heapQueue struct {
+	pq eventHeap
+}
+
+func (h *heapQueue) push(ev *event) { heap.Push(&h.pq, ev) }
+
+func (h *heapQueue) peek() *event {
+	if len(h.pq) == 0 {
+		return nil
+	}
+	return h.pq[0]
+}
+
+func (h *heapQueue) pop() *event {
+	if len(h.pq) == 0 {
+		return nil
+	}
+	return heap.Pop(&h.pq).(*event)
+}
+
+func (h *heapQueue) size() int { return len(h.pq) }
+
+func (h *heapQueue) remove(ev *event) {
+	heap.Remove(&h.pq, int(ev.index))
+}
+
 // eventHeap orders events by (at, seq).
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
+func (h eventHeap) Less(i, j int) bool { return eventLess(h[i], h[j]) }
 
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+	h[i].index = int32(i)
+	h[j].index = int32(j)
 }
 
 func (h *eventHeap) Push(x any) {
 	ev := x.(*event)
-	ev.index = len(*h)
+	ev.index = int32(len(*h))
 	*h = append(*h, ev)
 }
 

@@ -6,8 +6,8 @@ import (
 	"glr/internal/geom"
 )
 
-// The neighbor and location tables come in two storage backends sharing
-// one API:
+// The neighbor and location tables come in multiple storage backends
+// sharing one API:
 //
 //   - The map backend (NewLocationTable/NewNeighborTable) keys rows by
 //     node id in a Go map. It handles arbitrary sparse id spaces and is
@@ -18,10 +18,19 @@ import (
 //     and whole-table reset are O(1) and no hashing or per-row boxing
 //     happens on the beacon hot path. A sorted live-id list keeps
 //     iteration order identical to the map backend's sorted outputs.
+//   - The compact backend (NewCompactNeighborTable) keeps the dense
+//     backend's hot paths — row-owned storage, the sorted live list,
+//     allocation-free advertise/two-hop appends — but indexes rows
+//     through a small id→slot map, so a node's table costs O(its
+//     neighborhood) instead of O(world size). The dense backend's
+//     id-indexed arrays are O(n) per node and therefore O(n²) per world,
+//     which is the memory wall for 10k–100k-node runs; compact tables
+//     are what giant worlds use.
 //
-// Both backends produce byte-identical results for identical operation
+// All backends produce byte-identical results for identical operation
 // sequences (asserted by property tests in tables_dense_test.go); the
-// simulator picks the backend via sim.Scenario.DisableDenseTables.
+// simulator picks the backend via sim.Scenario.DisableDenseTables and
+// the world size.
 
 // LocationEntry is one row of a node's location table: where a node was
 // last known to be, and when that knowledge originated (§2.3.1: "Each node
@@ -203,8 +212,8 @@ type NeighborInfo struct {
 
 // NeighborTable tracks currently-audible neighbors with expiry, fed by
 // periodic beacons. The zero value is not usable; create with
-// NewNeighborTable (map backend) or NewDenseNeighborTable (dense
-// backend).
+// NewNeighborTable (map backend), NewDenseNeighborTable (dense backend),
+// or NewCompactNeighborTable (compact backend for giant worlds).
 //
 // The table owns the Neighbors storage of its rows: Observe copies the
 // advertised list into a row-owned backing array (reused across
@@ -227,6 +236,14 @@ type NeighborTable struct {
 	// id already emitted iff mark[id] == markGen.
 	mark    []uint64
 	markGen uint64
+
+	// Compact backend: slot maps id → index into rows (rowGen/gen unused);
+	// freeSlots recycles dead rows together with their Neighbors backing
+	// arrays; markM replaces the id-indexed mark array for AppendTwoHop
+	// dedup. live/expired are shared with the dense backend.
+	slot      map[int]int32
+	freeSlots []int32
+	markM     map[int]uint64
 }
 
 // NewNeighborTable returns an empty map-backed table.
@@ -245,8 +262,53 @@ func NewDenseNeighborTable(n int) *NeighborTable {
 	}
 }
 
-// dense reports whether the table uses the dense backend.
-func (t *NeighborTable) dense() bool { return t.m == nil }
+// NewCompactNeighborTable returns an empty compact table: the dense
+// backend's row-owned storage and sorted-live iteration, indexed through
+// an id→slot map so memory is O(neighborhood) instead of O(world size).
+func NewCompactNeighborTable() *NeighborTable {
+	return &NeighborTable{
+		slot:  make(map[int]int32),
+		markM: make(map[int]uint64),
+	}
+}
+
+// mapBacked reports whether the table uses the reference map backend
+// (the other two backends share the row-array code paths).
+func (t *NeighborTable) mapBacked() bool { return t.m != nil }
+
+// compact reports whether the table uses the compact (slot-mapped) backend.
+func (t *NeighborTable) compact() bool { return t.slot != nil }
+
+// liveRow returns the row for an id known to be live (row-array backends).
+func (t *NeighborTable) liveRow(id int) *NeighborInfo {
+	if t.compact() {
+		return &t.rows[t.slot[id]]
+	}
+	return &t.rows[id]
+}
+
+// takeSlot returns a free row index, growing rows if none is banked
+// (compact backend). Recycled rows keep their Neighbors backing array.
+func (t *NeighborTable) takeSlot() int32 {
+	if n := len(t.freeSlots); n > 0 {
+		si := t.freeSlots[n-1]
+		t.freeSlots = t.freeSlots[:n-1]
+		return si
+	}
+	t.rows = append(t.rows, NeighborInfo{})
+	return int32(len(t.rows) - 1)
+}
+
+// kill releases a live id's row storage (row-array backends); the caller
+// maintains the live list.
+func (t *NeighborTable) kill(id int) {
+	if t.compact() {
+		t.freeSlots = append(t.freeSlots, t.slot[id])
+		delete(t.slot, id)
+		return
+	}
+	t.rowGen[id] = 0
+}
 
 // ensure grows the dense arrays to cover id.
 func (t *NeighborTable) ensure(id int) {
@@ -258,119 +320,151 @@ func (t *NeighborTable) ensure(id int) {
 
 // Len returns the number of live rows.
 func (t *NeighborTable) Len() int {
-	if t.dense() {
-		return len(t.live)
+	if t.mapBacked() {
+		return len(t.m)
 	}
-	return len(t.m)
+	return len(t.live)
 }
 
-// Reset empties the table in O(1) (dense backend); row-owned Neighbors
-// backing arrays stay allocated for reuse.
+// Reset empties the table; row-owned Neighbors backing arrays stay
+// allocated for reuse (dense: O(1) generation bump; compact: slots are
+// banked for recycling).
 func (t *NeighborTable) Reset() {
-	if t.dense() {
-		t.gen++
+	if t.mapBacked() {
+		clear(t.m)
+		return
+	}
+	if t.compact() {
+		for _, id := range t.live {
+			t.freeSlots = append(t.freeSlots, t.slot[id])
+		}
+		clear(t.slot)
+		clear(t.markM)
 		t.live = t.live[:0]
 		return
 	}
-	clear(t.m)
+	t.gen++
+	t.live = t.live[:0]
 }
 
 // Observe inserts or refreshes a neighbor row. The advertised Neighbors
 // list is copied into row-owned storage; the caller keeps ownership of
 // info.Neighbors.
 func (t *NeighborTable) Observe(info NeighborInfo) {
-	if t.dense() {
-		id := info.ID
-		if id < 0 {
-			return
+	if t.mapBacked() {
+		old := t.m[info.ID]
+		info.Neighbors = append(old.Neighbors[:0], info.Neighbors...)
+		t.m[info.ID] = info
+		return
+	}
+	id := info.ID
+	if id < 0 {
+		return
+	}
+	var row *NeighborInfo
+	if t.compact() {
+		si, ok := t.slot[id]
+		if !ok {
+			si = t.takeSlot()
+			t.slot[id] = si
+			t.live = insertSorted(t.live, id)
 		}
+		row = &t.rows[si]
+	} else {
 		t.ensure(id)
-		row := &t.rows[id]
 		if t.rowGen[id] != t.gen {
 			t.rowGen[id] = t.gen
 			t.live = insertSorted(t.live, id)
 		}
-		nbrs := append(row.Neighbors[:0], info.Neighbors...)
-		*row = info
-		row.Neighbors = nbrs
-		return
+		row = &t.rows[id]
 	}
-	old := t.m[info.ID]
-	info.Neighbors = append(old.Neighbors[:0], info.Neighbors...)
-	t.m[info.ID] = info
+	nbrs := append(row.Neighbors[:0], info.Neighbors...)
+	*row = info
+	row.Neighbors = nbrs
 }
 
 // Get returns the row for id. The row's Neighbors slice aliases table-
 // owned storage (see the type doc).
 func (t *NeighborTable) Get(id int) (NeighborInfo, bool) {
-	if t.dense() {
-		if id < 0 || id >= len(t.rows) || t.rowGen[id] != t.gen {
+	if t.mapBacked() {
+		r, ok := t.m[id]
+		return r, ok
+	}
+	if t.compact() {
+		si, ok := t.slot[id]
+		if !ok {
 			return NeighborInfo{}, false
 		}
-		return t.rows[id], true
+		return t.rows[si], true
 	}
-	r, ok := t.m[id]
-	return r, ok
+	if id < 0 || id >= len(t.rows) || t.rowGen[id] != t.gen {
+		return NeighborInfo{}, false
+	}
+	return t.rows[id], true
 }
 
 // Remove drops the row for id.
 func (t *NeighborTable) Remove(id int) {
-	if t.dense() {
-		if id < 0 || id >= len(t.rows) || t.rowGen[id] != t.gen {
-			return
-		}
-		t.rowGen[id] = 0
-		t.live = removeSorted(t.live, id)
+	if t.mapBacked() {
+		delete(t.m, id)
 		return
 	}
-	delete(t.m, id)
+	if t.compact() {
+		if _, ok := t.slot[id]; !ok {
+			return
+		}
+	} else if id < 0 || id >= len(t.rows) || t.rowGen[id] != t.gen {
+		return
+	}
+	t.kill(id)
+	t.live = removeSorted(t.live, id)
 }
 
 // Expire drops every row last seen at or before deadline and returns the
 // expired ids in ascending order. The returned slice is scratch reused
 // by the next Expire call (dense backend); callers must not retain it.
 func (t *NeighborTable) Expire(deadline float64) []int {
-	if t.dense() {
-		t.expired = t.expired[:0]
-		keep := t.live[:0]
-		for _, id := range t.live {
-			if t.rows[id].LastSeen <= deadline {
-				t.rowGen[id] = 0
-				t.expired = append(t.expired, id)
-			} else {
-				keep = append(keep, id)
+	if t.mapBacked() {
+		var gone []int
+		for id, r := range t.m {
+			if r.LastSeen <= deadline {
+				gone = append(gone, id)
+				delete(t.m, id)
 			}
 		}
-		t.live = keep
-		return t.expired
+		sort.Ints(gone)
+		return gone
 	}
-	var gone []int
-	for id, r := range t.m {
-		if r.LastSeen <= deadline {
-			gone = append(gone, id)
-			delete(t.m, id)
+	t.expired = t.expired[:0]
+	keep := t.live[:0]
+	for _, id := range t.live {
+		if t.liveRow(id).LastSeen <= deadline {
+			t.kill(id)
+			t.expired = append(t.expired, id)
+		} else {
+			keep = append(keep, id)
 		}
 	}
-	sort.Ints(gone)
-	return gone
+	t.live = keep
+	return t.expired
 }
 
 // Snapshot returns all live rows sorted by id. The slice is freshly
 // allocated; row Neighbors alias table-owned storage. Hot paths should
 // prefer AppendAdvertised/AppendTwoHop.
 func (t *NeighborTable) Snapshot() []NeighborInfo {
-	if t.dense() {
-		out := make([]NeighborInfo, 0, len(t.live))
-		for _, id := range t.live {
-			out = append(out, t.rows[id])
+	if t.mapBacked() {
+		out := make([]NeighborInfo, 0, len(t.m))
+		for _, r := range t.m {
+			out = append(out, r)
 		}
+		sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 		return out
 	}
-	out := make([]NeighborInfo, 0, len(t.m))
-	for _, r := range t.m {
-		out = append(out, r)
+	out := make([]NeighborInfo, 0, len(t.live))
+	for _, id := range t.live {
+		out = append(out, *t.liveRow(id))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
@@ -379,14 +473,14 @@ func (t *NeighborTable) Snapshot() []NeighborInfo {
 // extended slice. With a caller-reused buffer the dense backend
 // allocates nothing.
 func (t *NeighborTable) AppendAdvertised(buf []NeighborNeighbor) []NeighborNeighbor {
-	if t.dense() {
-		for _, id := range t.live {
-			buf = append(buf, NeighborNeighbor{ID: id, Pos: t.rows[id].Pos})
+	if t.mapBacked() {
+		for _, r := range t.Snapshot() {
+			buf = append(buf, NeighborNeighbor{ID: r.ID, Pos: r.Pos})
 		}
 		return buf
 	}
-	for _, r := range t.Snapshot() {
-		buf = append(buf, NeighborNeighbor{ID: r.ID, Pos: r.Pos})
+	for _, id := range t.live {
+		buf = append(buf, NeighborNeighbor{ID: id, Pos: t.liveRow(id).Pos})
 	}
 	return buf
 }
@@ -409,11 +503,11 @@ func (t *NeighborTable) TwoHopPoints(selfID int, selfPos geom.Point) (ids []int,
 func (t *NeighborTable) AppendTwoHop(ids []int, pts []geom.Point, selfID int, selfPos geom.Point) ([]int, []geom.Point) {
 	ids = append(ids, selfID)
 	pts = append(pts, selfPos)
-	if t.dense() {
+	if !t.mapBacked() {
 		t.markGen++
 		t.markSeen(selfID)
 		for _, id := range t.live {
-			r := &t.rows[id]
+			r := t.liveRow(id)
 			if !t.seen(id) {
 				t.markSeen(id)
 				ids = append(ids, id)
@@ -461,11 +555,11 @@ func (t *NeighborTable) AppendTwoHop(ids []int, pts []geom.Point, selfID int, se
 func (t *NeighborTable) AppendTwoHopAt(ids []int, pts []geom.Point, selfID int, selfPos geom.Point, deadline float64) ([]int, []geom.Point) {
 	ids = append(ids, selfID)
 	pts = append(pts, selfPos)
-	if t.dense() {
+	if !t.mapBacked() {
 		t.markGen++
 		t.markSeen(selfID)
 		for _, id := range t.live {
-			r := &t.rows[id]
+			r := t.liveRow(id)
 			if r.LastSeen <= deadline {
 				continue
 			}
@@ -508,14 +602,23 @@ func (t *NeighborTable) AppendTwoHopAt(ids []int, pts []geom.Point, selfID int, 
 }
 
 // seen reports whether id was already emitted in the current AppendTwoHop
-// pass (dense backend).
+// pass (row-array backends).
 func (t *NeighborTable) seen(id int) bool {
+	if t.markM != nil {
+		return t.markM[id] == t.markGen
+	}
 	return id >= 0 && id < len(t.mark) && t.mark[id] == t.markGen
 }
 
-// markSeen stamps id as emitted in the current AppendTwoHop pass.
+// markSeen stamps id as emitted in the current AppendTwoHop pass. The
+// markGen bump preceding every pass keeps stale stamps — including the
+// compact map's zero value for absent ids — from reading as seen.
 func (t *NeighborTable) markSeen(id int) {
 	if id < 0 {
+		return
+	}
+	if t.markM != nil {
+		t.markM[id] = t.markGen
 		return
 	}
 	for id >= len(t.mark) {

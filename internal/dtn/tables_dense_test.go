@@ -67,10 +67,11 @@ func neighborsEqual(a, b []NeighborInfo) bool {
 	return true
 }
 
-// TestNeighborTableDenseMapEquivalenceChurn drives both backends through
-// randomized Observe/Expire/Remove churn — neighbors expiring,
-// re-appearing, and ids being reused across generations — asserting
-// identical Snapshot/TwoHopPoints/Get results throughout.
+// TestNeighborTableDenseMapEquivalenceChurn drives all three backends
+// through randomized Observe/Expire/Remove churn — neighbors expiring,
+// re-appearing, and ids (and compact row slots) being reused across
+// generations — asserting identical Snapshot/TwoHopPoints/Get results
+// throughout.
 func TestNeighborTableDenseMapEquivalenceChurn(t *testing.T) {
 	const trials = 20
 	for trial := 0; trial < trials; trial++ {
@@ -78,6 +79,7 @@ func TestNeighborTableDenseMapEquivalenceChurn(t *testing.T) {
 		idSpace := 4 + rng.Intn(28)
 		m := NewNeighborTable()
 		d := NewDenseNeighborTable(idSpace)
+		c := NewCompactNeighborTable()
 		now := 0.0
 		for step := 0; step < 300; step++ {
 			now += rng.Float64()
@@ -99,23 +101,29 @@ func TestNeighborTableDenseMapEquivalenceChurn(t *testing.T) {
 				}
 				m.Observe(info)
 				d.Observe(info)
+				c.Observe(info)
 			case op < 8: // expire stale rows
 				deadline := now - rng.Float64()*3
 				gm := append([]int(nil), m.Expire(deadline)...)
-				gd := d.Expire(deadline)
-				if !reflect.DeepEqual(gm, append([]int(nil), gd...)) && (len(gm) > 0 || len(gd) > 0) {
-					t.Fatalf("trial %d step %d: Expire map %v, dense %v", trial, step, gm, gd)
+				gd := append([]int(nil), d.Expire(deadline)...)
+				gc := append([]int(nil), c.Expire(deadline)...)
+				if (!reflect.DeepEqual(gm, gd) || !reflect.DeepEqual(gm, gc)) &&
+					(len(gm) > 0 || len(gd) > 0 || len(gc) > 0) {
+					t.Fatalf("trial %d step %d: Expire map %v, dense %v, compact %v", trial, step, gm, gd, gc)
 				}
 			default: // remove one id
 				id := rng.Intn(idSpace)
 				m.Remove(id)
 				d.Remove(id)
+				c.Remove(id)
 			}
 			if step%17 == 0 {
 				checkTablesAgree(t, m, d, idSpace+4)
+				checkTablesAgree(t, m, c, idSpace+4)
 			}
 		}
 		checkTablesAgree(t, m, d, idSpace+4)
+		checkTablesAgree(t, m, c, idSpace+4)
 	}
 }
 
@@ -218,26 +226,31 @@ func TestLocationTableDenseMapEquivalence(t *testing.T) {
 	}
 }
 
-// TestDenseNeighborTableReset exercises the O(1) generation-stamp reset:
-// rows from before the reset must be invisible, and id reuse afterwards
-// must behave like a fresh table.
+// TestDenseNeighborTableReset exercises reset on both row-array
+// backends (dense: O(1) generation bump; compact: slot recycling): rows
+// from before the reset must be invisible, and id reuse afterwards must
+// behave like a fresh table.
 func TestDenseNeighborTableReset(t *testing.T) {
-	d := NewDenseNeighborTable(4)
-	d.Observe(NeighborInfo{ID: 1, Pos: geom.Pt(1, 1), LastSeen: 5})
-	d.Observe(NeighborInfo{ID: 2, Pos: geom.Pt(2, 2), LastSeen: 5})
-	d.Reset()
-	if d.Len() != 0 {
-		t.Fatalf("Len after reset = %d", d.Len())
-	}
-	if _, ok := d.Get(1); ok {
-		t.Fatal("stale row visible after reset")
-	}
-	d.Observe(NeighborInfo{ID: 1, Pos: geom.Pt(9, 9), LastSeen: 7})
-	r, ok := d.Get(1)
-	if !ok || !r.Pos.Eq(geom.Pt(9, 9)) || len(r.Neighbors) != 0 {
-		t.Fatalf("reused id row = %+v, ok=%v", r, ok)
-	}
-	if ids := d.Expire(10); len(ids) != 1 || ids[0] != 1 {
-		t.Fatalf("Expire after reuse = %v", ids)
+	for name, d := range map[string]*NeighborTable{
+		"dense":   NewDenseNeighborTable(4),
+		"compact": NewCompactNeighborTable(),
+	} {
+		d.Observe(NeighborInfo{ID: 1, Pos: geom.Pt(1, 1), LastSeen: 5})
+		d.Observe(NeighborInfo{ID: 2, Pos: geom.Pt(2, 2), LastSeen: 5})
+		d.Reset()
+		if d.Len() != 0 {
+			t.Fatalf("%s: Len after reset = %d", name, d.Len())
+		}
+		if _, ok := d.Get(1); ok {
+			t.Fatalf("%s: stale row visible after reset", name)
+		}
+		d.Observe(NeighborInfo{ID: 1, Pos: geom.Pt(9, 9), LastSeen: 7})
+		r, ok := d.Get(1)
+		if !ok || !r.Pos.Eq(geom.Pt(9, 9)) || len(r.Neighbors) != 0 {
+			t.Fatalf("%s: reused id row = %+v, ok=%v", name, r, ok)
+		}
+		if ids := d.Expire(10); len(ids) != 1 || ids[0] != 1 {
+			t.Fatalf("%s: Expire after reuse = %v", name, ids)
+		}
 	}
 }

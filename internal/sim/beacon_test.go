@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"glr/internal/metrics"
+)
+
+// TestBeaconAggregationEquivalence crosses beacon aggregation with both
+// event-core backends on a mobile world and requires byte-identical
+// reports: the aggregated beacon plane and the calendar queue are pure
+// performance work, so every combination must reproduce the reference
+// (per-node tickers on the binary heap) exactly. It also checks the
+// point of the aggregation — the resident event count drops from one
+// ticker per node to one event per occupied cell.
+func TestBeaconAggregationEquivalence(t *testing.T) {
+	base := DefaultScenario(100)
+	base.Name = "beacon-agg-equiv"
+	base.Seed = 5
+	base.N = 80
+	base.SimTime = 20
+
+	var reports []metrics.Report
+	pending := map[string]int{}
+	for _, mode := range []struct {
+		name         string
+		noAgg, noCal bool
+	}{
+		{"aggregated+calendar", false, false},
+		{"aggregated+heap", false, true},
+		{"tickers+calendar", true, false},
+		{"tickers+heap", true, true},
+	} {
+		s := base
+		s.DisableBeaconAggregation = mode.noAgg
+		s.DisableCalendarQueue = mode.noCal
+		w, err := NewWorld(s, func(*Node) Protocol { return nopProtocol{} })
+		if err != nil {
+			t.Fatalf("%s: %v", mode.name, err)
+		}
+		pending[mode.name] = w.Scheduler().Pending()
+		reports = append(reports, w.Run())
+	}
+	for i := 1; i < len(reports); i++ {
+		if !reflect.DeepEqual(reports[0], reports[i]) {
+			t.Fatalf("report %d diverges from reference:\n%#v\nvs\n%#v", i, reports[i], reports[0])
+		}
+	}
+	if agg, tick := pending["aggregated+calendar"], pending["tickers+calendar"]; agg >= tick {
+		t.Fatalf("aggregation left %d events pending, want fewer than the %d per-node tickers", agg, tick)
+	}
+}
+
+// TestPhasesCollide pins the fallback predicate: only bit-equal phase
+// draws defeat aggregation's ordering argument, so only they may trigger
+// the per-node ticker fallback.
+func TestPhasesCollide(t *testing.T) {
+	if phasesCollide([]float64{0.1, 0.2, 0.3}) {
+		t.Fatal("distinct phases reported as colliding")
+	}
+	if !phasesCollide([]float64{0.3, 0.1, 0.3}) {
+		t.Fatal("bit-equal phases not detected")
+	}
+	if phasesCollide(nil) {
+		t.Fatal("empty phase set reported as colliding")
+	}
+}
+
+// TestBeaconGroupRingOrder documents the cursor invariant on a crafted
+// group: members fire one per event in phase order, cycling; bit-equal
+// phases within a cell fire back-to-back in id order under one event.
+func TestBeaconGroupRingOrder(t *testing.T) {
+	s := DefaultScenario(100)
+	s.Name = "beacon-ring"
+	s.N = 6
+	s.SimTime = 3.5
+	s.Mobility = MobilityStatic
+	for _, noAgg := range []bool{false, true} {
+		s.DisableBeaconAggregation = noAgg
+		w, err := NewWorld(s, func(*Node) Protocol { return nopProtocol{} })
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every node beacons once per interval; over 3.5 intervals each
+		// fires either 3 or 4 times depending on phase.
+		rep := w.Run()
+		got := rep.ControlFrames
+		if got < uint64(3*s.N) || got > uint64(4*s.N) {
+			t.Fatalf("noAgg=%v: %d control frames over %v s, want %d..%d",
+				noAgg, got, s.SimTime, 3*s.N, 4*s.N)
+		}
+	}
+}

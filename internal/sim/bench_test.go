@@ -24,7 +24,7 @@ func (nopProtocol) StorageUsed() int                { return 0 }
 // receiver refreshes its neighbor/location tables, and the medium
 // resolves all receptions. This is the simulator's steady-state load
 // with routing factored out.
-func benchBeaconTick(b *testing.B, disableDense bool) {
+func benchBeaconTick(b *testing.B, disableDense, disableAgg bool) {
 	const n = 500
 	area := float64(n) / (50.0 / (1500 * 300))
 	h := math.Sqrt(area / 5)
@@ -34,6 +34,7 @@ func benchBeaconTick(b *testing.B, disableDense bool) {
 	s.Region = mobility.Region{W: 5 * h, H: h}
 	s.SimTime = 1e9 // horizon unused; the benchmark steps manually
 	s.DisableDenseTables = disableDense
+	s.DisableBeaconAggregation = disableAgg
 
 	w, err := NewWorld(s, func(*Node) Protocol { return nopProtocol{} })
 	if err != nil {
@@ -52,6 +53,11 @@ func benchBeaconTick(b *testing.B, disableDense bool) {
 	}
 }
 
-func BenchmarkBeaconTickDense(b *testing.B) { benchBeaconTick(b, false) }
+// Dense and Map measure the two table backends under the reference
+// per-node beacon tickers; Aggregated measures the full fast path
+// (dense tables + cell-aggregated beacon events).
+func BenchmarkBeaconTickDense(b *testing.B) { benchBeaconTick(b, false, true) }
 
-func BenchmarkBeaconTickMap(b *testing.B) { benchBeaconTick(b, true) }
+func BenchmarkBeaconTickMap(b *testing.B) { benchBeaconTick(b, true, true) }
+
+func BenchmarkBeaconTickAggregated(b *testing.B) { benchBeaconTick(b, false, false) }

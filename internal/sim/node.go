@@ -72,6 +72,9 @@ type Node struct {
 	neighbors *dtn.NeighborTable
 	locations *dtn.LocationTable
 
+	// sentCB is allocated lazily on the first Unicast with a callback:
+	// beacon-only nodes (and every node in a giant world before it
+	// forwards data) never pay for the map.
 	sentCB map[*mac.Frame]func(ok bool)
 }
 
@@ -164,6 +167,9 @@ func (n *Node) Unicast(dst int, kind FrameKind, payload any, bits int, cb func(o
 	f := n.world.takeFrame()
 	f.Dst, f.Bits, f.Payload = dst, bits, payload
 	if cb != nil {
+		if n.sentCB == nil {
+			n.sentCB = make(map[*mac.Frame]func(ok bool))
+		}
 		n.sentCB[f] = cb
 	}
 	n.countFrame(kind)

@@ -106,6 +106,18 @@ type Scenario struct {
 	// DisableDenseTables for the sharded stepping work. Results are
 	// identical; equivalence tests and the node-count sweep use it.
 	DisableSharding bool
+
+	// DisableCalendarQueue backs the event core with the reference binary
+	// heap instead of the O(1)-amortized calendar queue. Dispatch order —
+	// and therefore every result — is byte-identical; equivalence tests
+	// and the scale sweep use it.
+	DisableCalendarQueue bool
+
+	// DisableBeaconAggregation schedules one beacon ticker per node (the
+	// reference path) instead of one event per occupied grid cell. The
+	// hello frames, their order, and every downstream result are
+	// byte-identical; only scheduler load changes.
+	DisableBeaconAggregation bool
 }
 
 // DefaultScenario returns the paper's Table-1 baseline at the given

@@ -83,6 +83,10 @@ func (w *World) putFrame(f *mac.Frame) {
 // newRand builds a deterministic RNG stream from a seed.
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
+// denseTableNodeLimit is the world size above which per-node dense
+// tables (O(n) each, O(n²) per world) give way to compact tables.
+const denseTableNodeLimit = 2048
+
 // NewWorld wires a scenario and a protocol factory into a runnable world.
 func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 	if err := cfg.Validate(); err != nil {
@@ -90,9 +94,13 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 	}
 	w := &World{
 		cfg:       cfg,
-		sched:     des.NewScheduler(),
 		collector: metrics.NewCollector(cfg.N),
 		rng:       newRand(cfg.Seed),
+	}
+	if cfg.DisableCalendarQueue {
+		w.sched = des.NewHeapScheduler()
+	} else {
+		w.sched = des.NewScheduler()
 	}
 
 	macCfg := cfg.MACConfig()
@@ -127,14 +135,21 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 
 	for i := 0; i < cfg.N; i++ {
 		n := &Node{
-			id:     i,
-			world:  w,
-			mob:    models[i],
-			rng:    newRand(cfg.Seed + int64(i)*104729 + 7),
-			sentCB: make(map[*mac.Frame]func(bool)),
+			id:    i,
+			world: w,
+			mob:   models[i],
+			rng:   newRand(cfg.Seed + int64(i)*104729 + 7),
 		}
 		if cfg.DisableDenseTables {
 			n.neighbors = dtn.NewNeighborTable()
+			n.locations = dtn.NewLocationTable()
+		} else if cfg.N > denseTableNodeLimit {
+			// Dense tables cost O(n) per node — O(n²) across the world,
+			// the memory wall for 10k+ nodes. Compact neighbor rows keep
+			// the dense hot paths at O(neighborhood); the map location
+			// table is already O(knowledge). All backends are
+			// byte-identical, so the switch is invisible in reports.
+			n.neighbors = dtn.NewCompactNeighborTable()
 			n.locations = dtn.NewLocationTable()
 		} else {
 			n.neighbors = dtn.NewDenseNeighborTable(cfg.N)
@@ -170,14 +185,28 @@ func (w *World) scheduleReindex() {
 	des.NewTicker(w.sched, w.cfg.BeaconInterval, 0, w.medium.Reindex)
 }
 
-// scheduleBeacons starts the per-node hello tickers with random phases so
-// nodes do not fire in lockstep (IMEP's periodic link/connection status
-// sensing).
+// scheduleBeacons arms the hello beacons with random phases so nodes do
+// not fire in lockstep (IMEP's periodic link/connection status sensing).
+// The phases are drawn from the world RNG in node-id order regardless of
+// mode, so the RNG stream — and everything downstream of it — is
+// identical across modes. By default beacons are aggregated into one
+// pending event per occupied grid cell (see beaconGroup);
+// DisableBeaconAggregation arms the reference per-node tickers, as does
+// the (astronomically unlikely) draw of two bit-equal phases, which
+// aggregation cannot order byte-identically.
 func (w *World) scheduleBeacons() {
-	for _, n := range w.nodes {
-		n := n
-		phase := w.rng.Float64() * w.cfg.BeaconInterval
-		des.NewTicker(w.sched, w.cfg.BeaconInterval, phase, n.sendBeacon)
+	phases := make([]float64, len(w.nodes))
+	for i := range phases {
+		phases[i] = w.rng.Float64() * w.cfg.BeaconInterval
+	}
+	if w.cfg.DisableBeaconAggregation || phasesCollide(phases) {
+		for i, n := range w.nodes {
+			des.NewTicker(w.sched, w.cfg.BeaconInterval, phases[i], n.sendBeacon)
+		}
+		return
+	}
+	for _, g := range w.buildBeaconGroups(phases) {
+		g.arm()
 	}
 }
 

@@ -58,6 +58,13 @@ type Engine struct {
 	// map-based reference implementation instead of dense id-indexed
 	// arrays.
 	DisableDenseTables bool
+	// DisableCalendarQueue backs the event scheduler with the reference
+	// binary heap instead of the O(1)-amortized calendar queue.
+	DisableCalendarQueue bool
+	// DisableBeaconAggregation arms one reference ticker per node
+	// instead of aggregating beacons into one pending event per occupied
+	// grid cell.
+	DisableBeaconAggregation bool
 }
 
 // WithEngine selects the execution engine (default: the zero Engine —
@@ -330,6 +337,8 @@ func (s *Scenario) compile(seed int64) (sim.Scenario, sim.ProtocolFactory, error
 	scn.DisableSharding = s.engine.DisableSharding
 	scn.DisableSpatialIndex = s.engine.DisableSpatialIndex
 	scn.DisableDenseTables = s.engine.DisableDenseTables
+	scn.DisableCalendarQueue = s.engine.DisableCalendarQueue
+	scn.DisableBeaconAggregation = s.engine.DisableBeaconAggregation
 
 	// Workload generators draw random pairs over scn.N; reject
 	// degenerate sizes before they schedule (a one-trajectory Trace can
