@@ -271,6 +271,40 @@ func BenchmarkWorldStepSharded(b *testing.B) {
 	benchmarkWorldStep(b, Engine{}, 0)
 }
 
+// BenchmarkWorldStepFaults runs the serial world-step scenario under a
+// composite fault plan (churn + link blackouts + GPS noise + Byzantine
+// nodes): the per-reception fault predicate and the churn event
+// schedule are on the hot path here. The serial engine keeps B/op
+// host-independent; like the other WorldStep macro-benchmarks the
+// benchgate baseline gates memory only.
+func BenchmarkWorldStepFaults(b *testing.B) {
+	sc, err := NewScenario(
+		WithNodes(1000),
+		WithRange(100),
+		WithRegion(3000, 1000),
+		WithWorkload(UniformWorkload{Messages: 150, Rate: 20}),
+		WithSimTime(10),
+		WithEngine(Engine{DisableSharding: true}),
+		WithFaults(
+			Fault{Kind: FaultChurn, Rate: 0.01, Duration: 2},
+			Fault{Kind: FaultLinkBlackout, Rate: 0.2, Period: 5},
+			Fault{Kind: FaultGPSNoise, Sigma: 30},
+			Fault{Kind: FaultByzantine, Fraction: 0.1},
+		),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sc.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DeliveryRatio, "delivery-ratio")
+	}
+}
+
 // BenchmarkSingleRunEpidemic is the epidemic counterpart.
 func BenchmarkSingleRunEpidemic(b *testing.B) {
 	cfg := DefaultConfig(100)

@@ -144,6 +144,16 @@ var experimentTable = map[string]struct {
 			return r.Render(), nil
 		},
 	},
+	"disruption": {
+		ExperimentInfo{"disruption", "Robustness", "Delivery/latency robustness curve under composite disruption (churn + blackouts + GPS noise + Byzantine), GLR vs epidemic"},
+		func(o experiments.Options) (string, error) {
+			r, err := experiments.Disruption(o)
+			if err != nil {
+				return "", err
+			}
+			return r.Render(), nil
+		},
+	},
 	"ablate": {
 		ExperimentInfo{"ablate", "Ablation", "GLR design-choice ablation: spanner, face routing, hysteresis, tree count, custody"},
 		func(o experiments.Options) (string, error) {

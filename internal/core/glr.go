@@ -333,6 +333,18 @@ func (g *GLR) Init(n *sim.Node) {
 	n.After(phase, g.checkFn)
 }
 
+// Restart implements sim.Restarter (fault-injected node churn): the
+// node reboots with empty custody storage, no per-message state — even
+// the delivered bits that suppress re-acceptance are gone — and no
+// table-sync history. The shared spanner cache (maint) survives: it is
+// world-level memoization keyed by exact positions, not node state. The
+// periodic route-check timer keeps its cadence across the restart.
+func (g *GLR) Restart() {
+	g.store = dtn.NewCustodyStore(g.n.StorageLimit())
+	clear(g.msgs)
+	clear(g.lastTableSync)
+}
+
 // StorageUsed implements sim.Protocol: Store + Cache occupancy.
 func (g *GLR) StorageUsed() int { return g.store.Total() }
 

@@ -205,6 +205,27 @@ func (e *Epidemic) Init(n *sim.Node) {
 	n.After(phase, func() { e.retrySweep(interval) })
 }
 
+// Restart implements sim.Restarter (fault-injected node churn): the
+// node reboots with an empty buffer and no exchange state — contact
+// history, advertised versions, outstanding wants, receipt immunity,
+// and the delivered-here memory all reset, so previously seen copies
+// can be accepted (and delivered) again as duplicates. The debounce
+// flag is left alone: a pending delta broadcast fires on empty state,
+// which is harmless, and clears it. The token bucket restarts empty.
+func (e *Epidemic) Restart() {
+	e.buf = dtn.NewBuffer(e.n.StorageLimit())
+	clear(e.lastExchange)
+	clear(e.lastHeard)
+	clear(e.lastSentVer)
+	clear(e.wants)
+	clear(e.backlog)
+	clear(e.immune)
+	clear(e.deliveredHere)
+	e.lastBcastVer = e.buf.Version()
+	e.tokens = 0
+	e.lastRefill = e.n.Now()
+}
+
 // retrySweep re-requests transfers that timed out, in one batch per
 // advertiser, then reschedules itself.
 //

@@ -131,6 +131,45 @@ func TestFig45LatencySmoke(t *testing.T) {
 	}
 }
 
+func TestDisruptionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	res, err := Disruption(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intensity) != len(DisruptionIntensities) {
+		t.Fatalf("want %d sweep points, got %d", len(DisruptionIntensities), len(res.Intensity))
+	}
+	if res.GLR[0].DeliveryRatio.Mean == 0 {
+		t.Error("fault-free GLR point delivered nothing")
+	}
+	out := res.Render()
+	if !strings.Contains(out, "Robustness") || !strings.Contains(out, "fault intensity") {
+		t.Error("render missing robustness table or curve")
+	}
+}
+
+func TestDisruptionFaultsRamp(t *testing.T) {
+	if got := DisruptionFaults(0); got != nil {
+		t.Errorf("intensity 0 must be the empty fault set, got %v", got)
+	}
+	full := DisruptionFaults(1)
+	if len(full) != 4 {
+		t.Fatalf("want 4 composed models, got %d", len(full))
+	}
+	half := DisruptionFaults(0.5)
+	for i := range full {
+		if half[i].Kind != full[i].Kind {
+			t.Errorf("model %d kind changed with intensity", i)
+		}
+	}
+	if half[0].Rate*2 != full[0].Rate {
+		t.Error("churn rate does not scale linearly with intensity")
+	}
+}
+
 func TestTable4StorageSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation experiment")

@@ -65,6 +65,17 @@ type Config struct {
 	// (the simulator sets MaxSpeed × reindex interval); zero is correct
 	// for static radios.
 	IndexSlack float64
+	// DropRx, when non-nil, vetoes individual receptions: a frame from
+	// src arriving at dst at time now (sender position at start of
+	// airing, receiver position at reception) is silently lost when it
+	// returns true, counted in Stats.FaultDrops. It is consulted after
+	// the range check and before interference resolution, at the same
+	// point on the serial and sharded paths, so it MUST be a pure
+	// function of its arguments — the fault-injection layer's blackout
+	// and churn predicates are; anything stateful would break the
+	// engines' byte-identity. Nil (the default) costs nothing on the
+	// hot path.
+	DropRx func(src, dst int, now float64, srcPos, dstPos geom.Point) bool
 }
 
 // DefaultConfig mirrors the paper's Table 1 at a given transmission range.
@@ -136,6 +147,7 @@ type Stats struct {
 	UnicastFailures uint64 // frames abandoned after MaxRetries
 	Delivered       uint64 // successful frame receptions
 	BusyDeferrals   uint64
+	FaultDrops      uint64 // receptions vetoed by Config.DropRx
 }
 
 // Medium is the shared wireless channel. All radios attached to a medium
@@ -669,6 +681,10 @@ func (m *Medium) finishBroadcastSharded(t *transmission) {
 		if m.cfg.IndexSlack > 0 {
 			m.radioIdx.Update(id, p)
 		}
+		if m.cfg.DropRx != nil && m.cfg.DropRx(t.from.id, id, float64(m.sched.Now()), t.pos, p) {
+			m.stats.FaultDrops++
+			continue
+		}
 		m.rxIDs = append(m.rxIDs, id)
 		m.rxPts = append(m.rxPts, p)
 		m.rxShard = append(m.rxShard, m.stripes.Of(p.X))
@@ -716,6 +732,10 @@ func (m *Medium) deliverTo(t *transmission, r *Radio) bool {
 		// slack promises static radios (see Config.IndexSlack), where
 		// no refresh is ever needed.
 		m.radioIdx.Update(r.id, p)
+	}
+	if m.cfg.DropRx != nil && m.cfg.DropRx(t.from.id, r.id, float64(m.sched.Now()), t.pos, p) {
+		m.stats.FaultDrops++
+		return false
 	}
 	if m.corruptedAt(t, r.id, p) {
 		m.stats.Collisions++

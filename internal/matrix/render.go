@@ -15,7 +15,7 @@ import (
 
 // coordinateAxes are the cell dimensions a regime map compares
 // protocols across, in table-column order.
-var coordinateAxes = []string{"mobility", "workload", "nodes", "range", "storage"}
+var coordinateAxes = []string{"mobility", "workload", "nodes", "range", "storage", "faults"}
 
 // coordValue renders one cell's value on a named coordinate axis,
 // matching the formatting of Matrix.Axes.
@@ -34,6 +34,11 @@ func coordValue(c glr.Cell, axis string) string {
 			return "unlimited"
 		}
 		return strconv.Itoa(c.StorageLimit)
+	case "faults":
+		if c.Faults == "" {
+			return "none"
+		}
+		return c.Faults
 	default:
 		return ""
 	}

@@ -50,12 +50,51 @@ func DefaultSections() []Section {
 			},
 			ChartX: "range",
 		},
+		{
+			Name:  "disruption",
+			Title: "Disruption — robustness under injected faults",
+			Note: "How do the protocols hold up when the network misbehaves? Each " +
+				"fault row composes disruption models from `glr.WithFaults` at " +
+				"rising intensity: node churn with state loss, stochastic link " +
+				"blackouts, GPS error on advertised positions, and Byzantine nodes " +
+				"that lie about location and drop custody. \"none\" is the " +
+				"fault-free baseline (byte-identical to a run without the fault " +
+				"subsystem).",
+			Matrix: glr.Matrix{
+				Protocols:  []glr.Protocol{glr.GLR, glr.Epidemic},
+				Mobilities: []glr.MobilityKind{glr.MobilityWaypoint},
+				Workloads:  []glr.WorkloadKind{glr.WorkloadPaper},
+				Nodes:      []int{40},
+				Ranges:     []float64{100},
+				Faults: [][]glr.Fault{
+					nil,
+					{
+						{Kind: glr.FaultChurn, Rate: 0.002, Duration: 30},
+						{Kind: glr.FaultLinkBlackout, Rate: 0.15, Period: 20},
+					},
+					{
+						{Kind: glr.FaultGPSNoise, Sigma: 50},
+						{Kind: glr.FaultByzantine, Fraction: 0.2},
+					},
+					{
+						{Kind: glr.FaultChurn, Rate: 0.004, Duration: 30},
+						{Kind: glr.FaultLinkBlackout, Rate: 0.3, Period: 20},
+						{Kind: glr.FaultGPSNoise, Sigma: 50},
+						{Kind: glr.FaultByzantine, Fraction: 0.2},
+					},
+				},
+				Messages: 150,
+				Seeds:    3,
+			},
+			SeriesChart: true,
+		},
 	}
 }
 
-// ShortSections is the CI-sized atlas slice (4 cells × 2 seeds): small
+// ShortSections is the CI-sized atlas slice (8 cells × 2 seeds): small
 // enough to compute uncached in well under two minutes, large enough to
-// exercise the driver, cache, and renderer end to end.
+// exercise the driver, cache, and renderer — including the fault axis —
+// end to end.
 func ShortSections() []Section {
 	return []Section{
 		{
@@ -67,8 +106,12 @@ func ShortSections() []Section {
 				Workloads:  []glr.WorkloadKind{glr.WorkloadPaper, glr.WorkloadUniform},
 				Nodes:      []int{30},
 				Ranges:     []float64{100},
-				Messages:   60,
-				Seeds:      2,
+				Faults: [][]glr.Fault{
+					nil,
+					{{Kind: glr.FaultChurn, Rate: 0.004, Duration: 30}},
+				},
+				Messages: 60,
+				Seeds:    2,
 			},
 			ChartX:      "range",
 			SeriesChart: true,

@@ -153,6 +153,9 @@ func (n *Node) OraclePosition(id int) geom.Point {
 // payload is released to the garbage collector when the MAC resolves
 // the frame.
 func (n *Node) Broadcast(kind FrameKind, payload any, bits int) bool {
+	if n.world.nodeDown(n.id) {
+		return false
+	}
 	n.countFrame(kind)
 	f := n.world.takeFrame()
 	f.Dst, f.Bits, f.Payload = mac.Broadcast, bits, payload
@@ -164,6 +167,12 @@ func (n *Node) Broadcast(kind FrameKind, payload any, bits int) bool {
 // frame was accepted by the link-layer queue; when it returns false, cb
 // has already been invoked with ok=false.
 func (n *Node) Unicast(dst int, kind FrameKind, payload any, bits int, cb func(ok bool)) bool {
+	if n.world.nodeDown(n.id) {
+		if cb != nil {
+			cb(false)
+		}
+		return false
+	}
 	f := n.world.takeFrame()
 	f.Dst, f.Bits, f.Payload = dst, bits, payload
 	if cb != nil {
@@ -237,9 +246,15 @@ func (n *Node) handleBeacon(b Beacon) {
 // the advertised-neighbor list is built in the pooled buffer, so a
 // steady-state beacon allocates nothing.
 func (n *Node) sendBeacon() {
+	if n.world.nodeDown(n.id) {
+		return
+	}
 	bf := n.world.takeBeacon()
 	adv := n.Neighbors().AppendAdvertised(bf.b.Neighbors[:0])
-	bf.b = Beacon{From: n.id, Pos: n.Pos(), Time: n.Now(), Neighbors: adv}
+	// The advertised position is the true one in fault-free runs;
+	// under GPS noise or a Byzantine plan the node claims somewhere
+	// else, and every receiver's tables trust the claim.
+	bf.b = Beacon{From: n.id, Pos: n.world.advertisedPos(n.id, n.Pos()), Time: n.Now(), Neighbors: adv}
 	bf.frame = mac.Frame{Dst: mac.Broadcast, Bits: beaconBits(len(adv)), Payload: bf}
 	n.countFrame(KindControl)
 	n.radio.Send(&bf.frame)

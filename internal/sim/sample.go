@@ -31,6 +31,12 @@ type SamplePoint struct {
 	// nodes and the fullest single node.
 	BufferTotal int
 	BufferMax   int
+
+	// Fault intensity so far: nodes currently crashed by churn, and
+	// receptions lost to blackouts or crashed receivers since the start
+	// of the run. Both zero in fault-free runs.
+	NodesDown  int
+	FaultDrops uint64
 }
 
 // AddSampler arms a periodic read-only probe: every `every` simulated
@@ -66,6 +72,8 @@ func (w *World) sample() SamplePoint {
 			sp.BufferMax = used
 		}
 	}
+	sp.NodesDown = w.downCount
+	sp.FaultDrops = w.medium.Stats().FaultDrops
 	return sp
 }
 

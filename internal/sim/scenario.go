@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"glr/internal/fault"
 	"glr/internal/mac"
 	"glr/internal/mobility"
 )
@@ -118,6 +119,12 @@ type Scenario struct {
 	// hello frames, their order, and every downstream result are
 	// byte-identical; only scheduler load changes.
 	DisableBeaconAggregation bool
+
+	// Faults lists the disruption models injected into the run (see
+	// internal/fault). Empty means a fault-free run, byte-identical to
+	// a build without the fault subsystem; the same Seed always replays
+	// the identical fault schedule.
+	Faults []fault.Spec
 }
 
 // DefaultScenario returns the paper's Table-1 baseline at the given
@@ -195,6 +202,11 @@ func (s Scenario) Validate() error {
 		}
 		if ti.At < 0 || ti.At > s.SimTime {
 			return fmt.Errorf("sim: traffic[%d] time %v outside run", i, ti.At)
+		}
+	}
+	for i, fs := range s.Faults {
+		if err := fs.Validate(s.Region, s.SimTime); err != nil {
+			return fmt.Errorf("sim: faults[%d]: %w", i, err)
 		}
 	}
 	return nil

@@ -6,6 +6,7 @@ import (
 
 	"glr/internal/des"
 	"glr/internal/dtn"
+	"glr/internal/fault"
 	"glr/internal/mac"
 	"glr/internal/metrics"
 	"glr/internal/mobility"
@@ -27,6 +28,14 @@ type World struct {
 	// pool is the shard worker pool for within-run parallelism (nil =
 	// serial engine); see Scenario.Parallelism / DisableSharding.
 	pool *shard.Pool
+
+	// plan is the compiled fault set (nil = fault-free run; every
+	// fault-path check is gated on it so the zero-fault hot path pays
+	// one nil comparison). downCount and faultHook track and surface
+	// fault occurrences; see fault.go.
+	plan      *fault.Plan
+	downCount int
+	faultHook func(fault.Event)
 
 	// Free lists (the internal/des pattern) for the per-send objects of
 	// the hot path: broadcast hellos with their payload buffers, and
@@ -97,6 +106,14 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 		collector: metrics.NewCollector(cfg.N),
 		rng:       newRand(cfg.Seed),
 	}
+	// Compile the fault plan first: it draws from its own dedicated
+	// rand stream, never the world RNG seeded above, so a fault-free
+	// scenario's RNG draws — and everything downstream — are untouched.
+	var err error
+	w.plan, err = fault.Compile(cfg.Faults, cfg.N, cfg.Region, cfg.SimTime, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.DisableCalendarQueue {
 		w.sched = des.NewHeapScheduler()
 	} else {
@@ -113,7 +130,12 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 		// the fastest scripted segment, which MaxSpeed does not bound.
 		macCfg.IndexSlack = cfg.maxDriftSpeed()*cfg.BeaconInterval + 1
 	}
-	var err error
+	if w.plan != nil {
+		// Blackouts and crashed receivers gate reception inside the
+		// medium; the predicate is pure, so serial and sharded
+		// resolution reach identical verdicts.
+		macCfg.DropRx = w.plan.BlocksReception
+	}
 	w.medium, err = mac.NewMedium(w.sched, macCfg, cfg.Seed^0x5eed)
 	if err != nil {
 		return nil, err
@@ -163,6 +185,9 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 		if n.proto == nil {
 			return nil, fmt.Errorf("sim: protocol factory returned nil for node %d", i)
 		}
+		if w.plan != nil && w.plan.Byzantine(i) {
+			n.proto = byzantineProto{n.proto}
+		}
 		w.nodes = append(w.nodes, n)
 	}
 	for _, n := range w.nodes {
@@ -172,6 +197,7 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 	w.scheduleTraffic()
 	w.scheduleStorageSampler()
 	w.scheduleReindex()
+	w.scheduleFaults()
 	return w, nil
 }
 

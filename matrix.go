@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"glr/internal/sim"
 )
 
 // MobilityKind names one of the built-in mobility models as a value a
@@ -89,7 +91,8 @@ type Axis struct {
 
 // Matrix describes a cross-product of scenario axes: every combination
 // of protocol × mobility × workload × node count × transmission range ×
-// storage limit becomes one Cell, and each cell is replicated over
+// storage limit × fault set becomes one Cell, and each cell is
+// replicated over
 // Seeds consecutive seeds starting at BaseSeed. Nil or zero fields take
 // the defaults noted on each field, so the zero Matrix is the paper's
 // Table-1 baseline compared across both protocols.
@@ -113,6 +116,10 @@ type Matrix struct {
 	// StorageLimits holds the per-node buffer bounds to sweep; 0 means
 	// unlimited (default {0}).
 	StorageLimits []int
+	// Faults holds the fault sets to sweep, each one a composition of
+	// disruption models applied together; nil inside the list means
+	// fault-free (default {nil} — a single fault-free regime).
+	Faults [][]Fault
 
 	// Messages is the per-cell workload size (default 200).
 	Messages int
@@ -150,6 +157,9 @@ func (m Matrix) Normalized() Matrix {
 	}
 	if len(m.StorageLimits) == 0 {
 		m.StorageLimits = []int{0}
+	}
+	if len(m.Faults) == 0 {
+		m.Faults = [][]Fault{nil}
 	}
 	if m.Messages == 0 {
 		m.Messages = 200
@@ -203,6 +213,17 @@ func (m Matrix) Validate() error {
 			return fmt.Errorf("glr: matrix storage limit %d must be nonnegative", s)
 		}
 	}
+	// Cells always compile onto the default deployment region, so fault
+	// rectangles validate against it here exactly as they will at
+	// scenario construction.
+	region := sim.DefaultScenario(100).Region
+	for fi, fs := range n.Faults {
+		for _, f := range fs {
+			if err := f.spec().Validate(region, n.SimTime); err != nil {
+				return fmt.Errorf("glr: matrix faults[%d]: %w", fi, err)
+			}
+		}
+	}
 	switch {
 	case n.Messages < 0:
 		return fmt.Errorf("glr: matrix message count %d must be nonnegative", n.Messages)
@@ -215,8 +236,8 @@ func (m Matrix) Validate() error {
 }
 
 // Axes returns the matrix's dimensions in canonical order — protocol,
-// mobility, workload, nodes, range, storage — with their normalized
-// value lists rendered as strings.
+// mobility, workload, nodes, range, storage, faults — with their
+// normalized value lists rendered as strings.
 func (m Matrix) Axes() []Axis {
 	n := m.Normalized()
 	axes := make([]Axis, 0, 6)
@@ -257,34 +278,48 @@ func (m Matrix) Axes() []Axis {
 		}
 	}
 	add("storage", ss)
+	fs := make([]string, len(n.Faults))
+	for i, v := range n.Faults {
+		if enc := EncodeFaults(v); enc != "" {
+			fs[i] = enc
+		} else {
+			fs[i] = "none"
+		}
+	}
+	add("faults", fs)
 	return axes
 }
 
 // Cells enumerates the cross-product of the normalized axes in a
 // deterministic order: mobility-major, then workload, nodes, range,
-// storage, with protocol innermost so a coordinate's protocol variants
-// are adjacent. Every cell carries the matrix's Messages and SimTime,
-// making it a self-contained, canonically serializable scenario spec.
+// storage, faults, with protocol innermost so a coordinate's protocol
+// variants are adjacent. Every cell carries the matrix's Messages and
+// SimTime, making it a self-contained, canonically serializable
+// scenario spec.
 func (m Matrix) Cells() []Cell {
 	n := m.Normalized()
 	cells := make([]Cell, 0,
-		len(n.Mobilities)*len(n.Workloads)*len(n.Nodes)*len(n.Ranges)*len(n.StorageLimits)*len(n.Protocols))
+		len(n.Mobilities)*len(n.Workloads)*len(n.Nodes)*len(n.Ranges)*
+			len(n.StorageLimits)*len(n.Faults)*len(n.Protocols))
 	for _, mob := range n.Mobilities {
 		for _, work := range n.Workloads {
 			for _, nodes := range n.Nodes {
 				for _, rng := range n.Ranges {
 					for _, storage := range n.StorageLimits {
-						for _, proto := range n.Protocols {
-							cells = append(cells, Cell{
-								Protocol:     proto,
-								Mobility:     mob,
-								Workload:     work,
-								Nodes:        nodes,
-								Range:        rng,
-								StorageLimit: storage,
-								Messages:     n.Messages,
-								SimTime:      n.SimTime,
-							})
+						for _, faults := range n.Faults {
+							for _, proto := range n.Protocols {
+								cells = append(cells, Cell{
+									Protocol:     proto,
+									Mobility:     mob,
+									Workload:     work,
+									Nodes:        nodes,
+									Range:        rng,
+									StorageLimit: storage,
+									Faults:       EncodeFaults(faults),
+									Messages:     n.Messages,
+									SimTime:      n.SimTime,
+								})
+							}
 						}
 					}
 				}
@@ -306,8 +341,14 @@ type Cell struct {
 	Nodes        int
 	Range        float64 // metres
 	StorageLimit int     // messages per node; 0 = unlimited
-	Messages     int
-	SimTime      float64 // seconds
+	// Faults is the cell's fault set in EncodeFaults form; "" means
+	// fault-free. A canonical string (not a slice) keeps cells
+	// comparable — they key caches and regime-map groupings — and
+	// omitempty keeps fault-free cells byte-identical to cells
+	// serialized before the fault axis existed.
+	Faults   string `json:",omitempty"`
+	Messages int
+	SimTime  float64 // seconds
 }
 
 // Options expands the cell into the scenario options it pins. The run
@@ -322,7 +363,11 @@ func (c Cell) Options() ([]Option, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []Option{
+	faults, err := ParseFaults(c.Faults)
+	if err != nil {
+		return nil, err
+	}
+	opts := []Option{
 		WithProtocol(c.Protocol),
 		WithMobility(mob),
 		WithWorkload(work),
@@ -330,7 +375,11 @@ func (c Cell) Options() ([]Option, error) {
 		WithRange(c.Range),
 		WithStorageLimit(c.StorageLimit),
 		WithSimTime(c.SimTime),
-	}, nil
+	}
+	if len(faults) > 0 {
+		opts = append(opts, WithFaults(faults...))
+	}
+	return opts, nil
 }
 
 // Scenario compiles the cell into a runnable Scenario, seeded with the
@@ -353,7 +402,9 @@ func (c Cell) Coordinate() Cell {
 
 // Label renders the cell as a compact slug —
 // protocol/mobility/workload/n<nodes>/r<range>/s<storage> — with "s∞"
-// for unlimited storage. Labels identify cells in the atlas and in
+// for unlimited storage and the fault-set slug appended only when the
+// cell injects faults, so fault-free labels match those minted before
+// the fault axis existed. Labels identify cells in the atlas and in
 // golden files; cache files are named by content key, not label.
 func (c Cell) Label() string {
 	storage := "s∞"
@@ -370,6 +421,9 @@ func (c Cell) Label() string {
 	}
 	if c.Protocol == "" {
 		parts = parts[1:]
+	}
+	if c.Faults != "" {
+		parts = append(parts, c.Faults)
 	}
 	return strings.Join(parts, "/")
 }

@@ -2,6 +2,7 @@ package glr
 
 import (
 	"glr/internal/dtn"
+	"glr/internal/fault"
 	"glr/internal/metrics"
 	"glr/internal/sim"
 )
@@ -21,6 +22,11 @@ type Observer struct {
 	// OnDelivered fires when a copy of a message reaches its
 	// destination, including duplicate copies (Duplicate true).
 	OnDelivered func(DeliveryEvent)
+	// OnFault fires on every discrete fault occurrence in a run built
+	// with WithFaults: a node crashing or restarting (FaultChurn) and a
+	// region blackout starting or lifting (FaultRegionBlackout).
+	// Fault-free runs never fire it.
+	OnFault func(FaultEvent)
 
 	// SampleEvery enables the periodic sampler: every SampleEvery
 	// simulated seconds (first at SampleEvery) OnSample receives a
@@ -54,6 +60,23 @@ type DeliveryEvent struct {
 // Latency returns the copy's end-to-end delay in seconds.
 func (e DeliveryEvent) Latency() float64 { return e.At - e.CreatedAt }
 
+// FaultEvent describes one discrete fault occurrence: a churn crash or
+// restart, or a region blackout starting or lifting. Continuous faults
+// (link blackouts, GPS noise, Byzantine drops) have no discrete edges;
+// their intensity surfaces through Sample instead.
+type FaultEvent struct {
+	// Kind is the model that fired (FaultChurn or FaultRegionBlackout).
+	Kind FaultKind
+	// At is the simulation time of the occurrence, in seconds.
+	At float64
+	// Node is the crashed or restarted node, or -1 for region-scoped
+	// events.
+	Node int
+	// Restored is false when disruption begins (crash, blackout start)
+	// and true when it ends (restart, blackout lift).
+	Restored bool
+}
+
 // Sample is one periodic observation of a running scenario.
 type Sample struct {
 	Time float64 // seconds
@@ -79,6 +102,12 @@ type Sample struct {
 	ControlFrames uint64
 	DataFrames    uint64
 	Acks          uint64
+
+	// NodesDown is the number of nodes currently crashed by churn;
+	// FaultDrops counts receptions lost so far to blackouts or crashed
+	// receivers. Both stay zero in fault-free runs.
+	NodesDown  int
+	FaultDrops uint64
 }
 
 // attachObservers wires the scenario's observers into a freshly built
@@ -89,8 +118,20 @@ func (s *Scenario) attachObservers(w *sim.World) {
 		return
 	}
 	var hooks metrics.Hooks
+	var faultHook func(fault.Event)
 	for _, o := range s.observers {
 		o := o
+		if o.OnFault != nil {
+			prev := faultHook
+			faultHook = func(e fault.Event) {
+				if prev != nil {
+					prev(e)
+				}
+				o.OnFault(FaultEvent{
+					Kind: FaultKind(e.Kind), At: e.Time, Node: e.Node, Restored: e.Restored,
+				})
+			}
+		}
 		if o.OnGenerated != nil {
 			prev := hooks.Created
 			hooks.Created = func(id dtn.MessageID, at float64, dst int) {
@@ -121,6 +162,9 @@ func (s *Scenario) attachObservers(w *sim.World) {
 	if hooks.Created != nil || hooks.Delivered != nil {
 		w.Collector().SetHooks(hooks)
 	}
+	if faultHook != nil {
+		w.SetFaultHook(faultHook)
+	}
 }
 
 // sampleFromPoint lowers the internal sample to the public schema.
@@ -135,6 +179,8 @@ func sampleFromPoint(sp sim.SamplePoint) Sample {
 		ControlFrames: sp.ControlFrames,
 		DataFrames:    sp.DataFrames,
 		Acks:          sp.Acks,
+		NodesDown:     sp.NodesDown,
+		FaultDrops:    sp.FaultDrops,
 	}
 	if sp.Generated > 0 {
 		s.DeliveryRatio = float64(sp.Delivered) / float64(sp.Generated)

@@ -30,6 +30,7 @@ type Scenario struct {
 	glrCfg    *GLRConfig
 	epiCfg    *EpidemicConfig
 	observers []*Observer
+	faults    []Fault // WithFaults: empty = fault-free
 
 	parallelism int // WithParallelism: 0 = auto, 1 = serial
 	engine      Engine
@@ -368,6 +369,10 @@ func (s *Scenario) compile(seed int64) (sim.Scenario, sim.ProtocolFactory, error
 	}
 	for _, m := range msgs {
 		scn.Traffic = append(scn.Traffic, sim.TrafficItem{Src: m.Src, Dst: m.Dst, At: m.At})
+	}
+
+	for _, f := range s.faults {
+		scn.Faults = append(scn.Faults, f.spec())
 	}
 
 	if s.simTime > 0 {
