@@ -9,9 +9,10 @@ SHELL := /bin/bash
 # Benchmarks under the CI regression gate (spanner construction + MAC
 # medium + dense node-state plane + beacon tick + the event-core
 # scheduler pair + the parallel Runner sweep + the serial/sharded
-# world-step pair + the calibration probe benchgate normalizes by). The
-# gate covers ns/op (calibration-normalized) and, from -benchmem, B/op
-# and allocs/op (raw).
+# world-step pair + the per-plane WorldStep{Beacon,Mobility,AntiEntropy}
+# benchmarks on a pinned 4-worker pool + the calibration probe benchgate
+# normalizes by). The gate covers ns/op (calibration-normalized) and,
+# from -benchmem, B/op and allocs/op (raw).
 BENCH_GATE_PATTERN := BenchmarkSpanner|BenchmarkDelaunay|BenchmarkMedium|BenchmarkNeighborTable|BenchmarkBeaconTick|BenchmarkScheduler|BenchmarkRunner|BenchmarkWorldStep|BenchmarkCalibration
 BENCH_GATE_PKGS := . ./internal/geom ./internal/ldt ./internal/mac ./internal/dtn ./internal/des ./internal/sim
 BENCH_GATE_FLAGS := -benchmem -count 5 -benchtime 0.3s -run '^$$'

@@ -10,6 +10,7 @@ package glr
 
 import (
 	"context"
+	"math"
 	"runtime"
 	"testing"
 
@@ -269,6 +270,60 @@ func BenchmarkWorldStepSerial(b *testing.B) {
 // serial and the two benchmarks coincide.
 func BenchmarkWorldStepSharded(b *testing.B) {
 	benchmarkWorldStep(b, Engine{}, 0)
+}
+
+// benchmarkWorldStepPlane runs the 1000-node world on a pinned 4-worker
+// pool with exactly one plane's fork threshold open (1) and every other
+// pinned shut (math.MaxInt), so each benchmark isolates one parallel
+// plane's cost. The epidemic protocol replaces GLR: its exchange work
+// is deterministic under sharding (GLR's speculative spanner builds
+// vary with worker timing, making B/op host-dependent) and it drives
+// the anti-entropy plane GLR never touches. Pinned thresholds keep the
+// fork decisions — and so the allocation profile the benchgate baseline
+// gates — independent of the host's calibration.
+func benchmarkWorldStepPlane(b *testing.B, ft ForkThresholds) {
+	sc, err := NewScenario(
+		WithProtocol(Epidemic),
+		WithNodes(1000),
+		WithRange(100),
+		WithRegion(3000, 1000),
+		WithWorkload(UniformWorkload{Messages: 150, Rate: 20}),
+		WithSimTime(10),
+		WithEngine(Engine{ForkThresholds: &ft}),
+		WithParallelism(4),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := sc.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.DeliveryRatio, "delivery-ratio")
+	}
+}
+
+// BenchmarkWorldStepBeaconSharded isolates the batched beacon plane:
+// per-cell hello batches fork however small, everything else inline.
+func BenchmarkWorldStepBeaconSharded(b *testing.B) {
+	benchmarkWorldStepPlane(b, ForkThresholds{
+		RxMin: math.MaxInt, BeaconMin: 1, MobilityMin: math.MaxInt, DiffMin: math.MaxInt})
+}
+
+// BenchmarkWorldStepMobilitySharded isolates the bulk-reindex plane:
+// the periodic position re-extrapolation forks, everything else inline.
+func BenchmarkWorldStepMobilitySharded(b *testing.B) {
+	benchmarkWorldStepPlane(b, ForkThresholds{
+		RxMin: math.MaxInt, BeaconMin: math.MaxInt, MobilityMin: 1, DiffMin: math.MaxInt})
+}
+
+// BenchmarkWorldStepAntiEntropySharded isolates the anti-entropy diff
+// plane: summary-vector screening forks, everything else inline.
+func BenchmarkWorldStepAntiEntropySharded(b *testing.B) {
+	benchmarkWorldStepPlane(b, ForkThresholds{
+		RxMin: math.MaxInt, BeaconMin: math.MaxInt, MobilityMin: math.MaxInt, DiffMin: 1})
 }
 
 // BenchmarkWorldStepFaults runs the serial world-step scenario under a

@@ -3,6 +3,7 @@ package glr
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -79,6 +80,16 @@ func TestFaultedRunEquivalence(t *testing.T) {
 			t.Errorf("parallelism=%d diverged:\n  base: %+v\n  got:  %+v", workers, base, got)
 		}
 	}
+	// All-zero thresholds force every parallel plane — reception
+	// verdicts, batched beacons, the bulk reindex, anti-entropy diffs —
+	// to fork on every batch, however small, crossing the fault schedule
+	// with maximal parallel coverage.
+	forceFork := &ForkThresholds{}
+	for _, workers := range []int{2, 8} {
+		if got := runFaulted(t, 7, Engine{ForkThresholds: forceFork}, workers, faults); !reflect.DeepEqual(base, got) {
+			t.Errorf("parallelism=%d fork-always diverged:\n  base: %+v\n  got:  %+v", workers, base, got)
+		}
+	}
 
 	if testing.Short() {
 		return
@@ -92,9 +103,83 @@ func TestFaultedRunEquivalence(t *testing.T) {
 			DisableCalendarQueue:     mask&16 != 0,
 			DisableBeaconAggregation: mask&32 != 0,
 		}
+		// Sharded combinations run with forked-always thresholds so the
+		// hatch cross exercises the parallel planes, not just the pool
+		// attachment; calibrated thresholds are covered by the sweeps
+		// above.
+		if !e.DisableSharding {
+			e.ForkThresholds = forceFork
+		}
 		if got := runFaulted(t, 7, e, 4, faults); !reflect.DeepEqual(base, got) {
 			t.Errorf("hatch mask %06b diverged:\n  base: %+v\n  got:  %+v", mask, base, got)
 		}
+	}
+}
+
+// TestForkThresholdEquivalence is the pathological-threshold property
+// test: pinning the per-plane fork thresholds to the extremes — 0
+// (every batch forks, even singletons) and math.MaxInt (nothing ever
+// forks, the pool idles) — must leave a faulted run's result
+// byte-identical to the auto-calibrated default, for both protocols
+// and across worker counts. Thresholds gate only where work executes,
+// never what it computes.
+func TestForkThresholdEquivalence(t *testing.T) {
+	faults := faultTestSet()
+	run := func(p Protocol, ft *ForkThresholds, workers int) Result {
+		t.Helper()
+		s, err := NewScenario(
+			WithProtocol(p),
+			WithNodes(30),
+			WithWorkload(UniformWorkload{Messages: 40}),
+			WithSimTime(150),
+			WithSeed(11),
+			WithEngine(Engine{ForkThresholds: ft}),
+			WithParallelism(workers),
+			WithFaults(faults...),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	never := &ForkThresholds{RxMin: math.MaxInt, BeaconMin: math.MaxInt,
+		MobilityMin: math.MaxInt, DiffMin: math.MaxInt}
+	for _, p := range []Protocol{GLR, Epidemic} {
+		base := run(p, nil, 0)
+		if base.Delivered == 0 {
+			t.Fatalf("%s: baseline delivered nothing; the property test is vacuous", p)
+		}
+		for _, workers := range []int{2, 8} {
+			for name, ft := range map[string]*ForkThresholds{
+				"fork-always": {},
+				"fork-never":  never,
+			} {
+				if got := run(p, ft, workers); !reflect.DeepEqual(base, got) {
+					t.Errorf("%s parallelism=%d %s diverged:\n  base: %+v\n  got:  %+v",
+						p, workers, name, base, got)
+				}
+			}
+		}
+	}
+}
+
+// TestForkThresholdValidation: negative thresholds are rejected at
+// scenario construction.
+func TestForkThresholdValidation(t *testing.T) {
+	for _, ft := range []ForkThresholds{
+		{RxMin: -1}, {BeaconMin: -1}, {MobilityMin: -2}, {DiffMin: -3},
+	} {
+		ft := ft
+		if _, err := NewScenario(WithEngine(Engine{ForkThresholds: &ft})); err == nil {
+			t.Errorf("negative thresholds %+v accepted", ft)
+		}
+	}
+	if _, err := NewScenario(WithEngine(Engine{ForkThresholds: &ForkThresholds{}})); err != nil {
+		t.Errorf("zero thresholds rejected: %v", err)
 	}
 }
 

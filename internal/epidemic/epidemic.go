@@ -10,8 +10,10 @@ package epidemic
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"glr/internal/dtn"
+	"glr/internal/shard"
 	"glr/internal/sim"
 )
 
@@ -160,6 +162,12 @@ type Epidemic struct {
 	// Token bucket pacing outgoing data transfers.
 	tokens     float64
 	lastRefill float64
+
+	// Scratch for onSummary's diff: the advertised ids in (Src, Seq)
+	// order and the per-id keep verdicts. Reused across exchanges; the
+	// request frame itself gets a fresh slice (it outlives the call).
+	diffIDs  []dtn.MessageID
+	diffKeep []bool
 }
 
 // receiptFrame is the active-receipt anti-packet: it names delivered
@@ -240,12 +248,7 @@ func (e *Epidemic) retrySweep(interval float64) {
 	for id := range e.wants {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Src != ids[j].Src {
-			return ids[i].Src < ids[j].Src
-		}
-		return ids[i].Seq < ids[j].Seq
-	})
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 	perPeer := make(map[int][]dtn.MessageID)
 	var peers []int
 	for _, id := range ids {
@@ -456,31 +459,83 @@ func (e *Epidemic) onReceipt(f receiptFrame) {
 // onSummary computes the set difference and requests what we lack; if this
 // summary opened a session, we reply with our own so the exchange is
 // bidirectional (the Vahdat–Becker handshake).
+//
+// The diff is the anti-entropy hot loop — one buffer/wants/immunity
+// probe per advertised id, thousands of ids per full summary at paper
+// load — and it is a pure per-id predicate over state that nothing
+// mutates until the request list is committed. So the advertised ids
+// are first sorted into the canonical (Src, Seq) order (fixing each
+// id's slot), then the per-id verdicts are computed — forked onto the
+// shard pool over contiguous chunks when the batch crosses the diff
+// threshold, inline otherwise — and the request list is assembled
+// serially from the verdict slots. Sorting before filtering yields
+// exactly the filter-then-sort order of the serial reference (ids are
+// unique, and filtering preserves sorted order), so request frames hit
+// the medium in the identical (Src, Seq)/peer order either way.
 func (e *Epidemic) onSummary(f svFrame, from int) {
 	now := e.n.Now()
-	all := e.buf.Summary().Missing(f.Summary)
-	// Skip ids already requested recently from any peer, and ids purged
-	// by active receipts.
-	missing := all[:0]
-	for _, id := range all {
-		if w, ok := e.wants[id]; ok && now-w.at < e.cfg.RequestTimeout {
-			continue
-		}
-		if e.cfg.ActiveReceipts && e.immune[id] {
-			continue
-		}
-		missing = append(missing, id)
+	var diffStart time.Time
+	if e.n.PhaseProfiled() {
+		diffStart = time.Now()
 	}
-	// Deterministic order: oldest ids first by (src, seq).
-	sort.Slice(missing, func(i, j int) bool {
-		if missing[i].Src != missing[j].Src {
-			return missing[i].Src < missing[j].Src
+	ids := e.diffIDs[:0]
+	for id := range f.Summary {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+	if cap(e.diffKeep) < len(ids) {
+		e.diffKeep = make([]bool, len(ids))
+	}
+	keep := e.diffKeep[:len(ids)]
+	e.diffIDs = ids
+	decide := func(i int) {
+		id := ids[i]
+		if e.buf.Has(id) {
+			keep[i] = false
+			return
 		}
-		return missing[i].Seq < missing[j].Seq
-	})
-	if len(missing) > e.cfg.MaxBatch {
-		missing = missing[:e.cfg.MaxBatch]
-		e.backlog[from] = true // more to pull once this batch settles
+		// Skip ids already requested recently from any peer, and ids
+		// purged by active receipts.
+		if w, ok := e.wants[id]; ok && now-w.at < e.cfg.RequestTimeout {
+			keep[i] = false
+			return
+		}
+		keep[i] = !(e.cfg.ActiveReceipts && e.immune[id])
+	}
+	if p := e.n.ShardPool(); p != nil && len(ids) >= e.n.ForkThresholds().DiffMin {
+		// Forked verdicts: pure map reads (buffer membership, want
+		// recency, receipt immunity) into per-id slots, each id touched
+		// by exactly one worker. Nothing mutates until the join, and
+		// chunk order cannot reorder slots, so the verdict vector is
+		// byte-identical to the inline loop's.
+		parts := p.Workers()
+		p.Run(parts, func(c int) {
+			lo, hi := shard.ChunkBounds(len(ids), parts, c)
+			for i := lo; i < hi; i++ {
+				decide(i)
+			}
+		})
+	} else {
+		for i := range ids {
+			decide(i)
+		}
+	}
+	// Serial commit in (Src, Seq) order. The request frame owns a fresh
+	// slice: it stays queued in the MAC while later exchanges reuse the
+	// scratch.
+	var missing []dtn.MessageID
+	for i := range ids {
+		if !keep[i] {
+			continue
+		}
+		if len(missing) == e.cfg.MaxBatch {
+			e.backlog[from] = true // more to pull once this batch settles
+			break
+		}
+		missing = append(missing, ids[i])
+	}
+	if !diffStart.IsZero() {
+		e.n.AddAntiEntropyTime(time.Since(diffStart))
 	}
 	if len(missing) > 0 {
 		for _, id := range missing {

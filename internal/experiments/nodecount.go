@@ -13,6 +13,7 @@ import (
 	"glr/internal/ldt"
 	"glr/internal/metrics"
 	"glr/internal/mobility"
+	"glr/internal/shard"
 	"glr/internal/sim"
 	"glr/internal/stats"
 )
@@ -45,12 +46,15 @@ type NodeCountPoint struct {
 	ShardWorkers    int           // pool width of the sharded runs (GOMAXPROCS)
 	SpannerCached   time.Duration // mean spanner-construction time per run
 	SpannerScratch  time.Duration
-	TriHitRate      float64 // fast-path runs: witness-triangulation reuse
-	AllocsDense     uint64  // mean heap allocations per fast-path run
-	AllocsMapTables uint64  // mean heap allocations per map-backed run
-	GCDense         uint32  // mean GC cycles per fast-path run
-	GCMapTables     uint32  // mean GC cycles per map-backed run
-	Identical       bool    // all four reports matched exactly at every seed
+	SpannerSharded  time.Duration    // mean spanner time within the sharded runs
+	Phases          sim.PhaseProf    // sharded runs: mean per-phase wall clock
+	Thresholds      shard.Thresholds // fork thresholds the sharded runs calibrated
+	TriHitRate      float64          // fast-path runs: witness-triangulation reuse
+	AllocsDense     uint64           // mean heap allocations per fast-path run
+	AllocsMapTables uint64           // mean heap allocations per map-backed run
+	GCDense         uint32           // mean GC cycles per fast-path run
+	GCMapTables     uint32           // mean GC cycles per map-backed run
+	Identical       bool             // all four reports matched exactly at every seed
 }
 
 // SpannerSpeedup returns from-scratch spanner-construction time over
@@ -113,26 +117,49 @@ func nodeCountScenario(n, msgs int, seed int64) sim.Scenario {
 	return s
 }
 
+// instrRun is one instrumented run's measurements: the report, the
+// shared-cache stats, the heap Mallocs / GC-cycle deltas across the run
+// (runtime.ReadMemStats), and — when profiled — the per-phase wall
+// clock and the fork thresholds the world ran with.
+type instrRun struct {
+	rep     metrics.Report
+	spanner ldt.SpannerStats
+	mallocs uint64
+	gc      uint32
+	phases  sim.PhaseProf
+	thr     shard.Thresholds
+}
+
 // executeInstrumented runs one GLR scenario with spanner and allocation
-// instrumentation: the report, the shared-cache stats, and the heap
-// Mallocs / GC-cycle deltas across the run (runtime.ReadMemStats).
-func executeInstrumented(ctx context.Context, s sim.Scenario, cfg core.Config) (metrics.Report, ldt.SpannerStats, uint64, uint32, error) {
+// instrumentation; profile additionally turns on per-phase wall-clock
+// attribution (which never changes the report — see sim.PhaseProf).
+func executeInstrumented(ctx context.Context, s sim.Scenario, cfg core.Config, profile bool) (instrRun, error) {
 	factory, maint, err := core.NewInstrumented(cfg)
 	if err != nil {
-		return metrics.Report{}, ldt.SpannerStats{}, 0, 0, err
+		return instrRun{}, err
 	}
 	w, err := sim.NewWorld(s, factory)
 	if err != nil {
-		return metrics.Report{}, ldt.SpannerStats{}, 0, 0, err
+		return instrRun{}, err
+	}
+	if profile {
+		w.EnablePhaseProfile()
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	rep, err := w.RunContext(ctx)
 	runtime.ReadMemStats(&after)
 	if err != nil {
-		return metrics.Report{}, ldt.SpannerStats{}, 0, 0, err
+		return instrRun{}, err
 	}
-	return rep, maint.Stats(), after.Mallocs - before.Mallocs, after.NumGC - before.NumGC, nil
+	return instrRun{
+		rep:     rep,
+		spanner: maint.Stats(),
+		mallocs: after.Mallocs - before.Mallocs,
+		gc:      after.NumGC - before.NumGC,
+		phases:  w.PhaseProfile(),
+		thr:     w.ForkThresholds(),
+	}, nil
 }
 
 // NodeCountSweep measures how the simulator scales with node count at
@@ -196,30 +223,36 @@ func NodeCountSweep(o Options, sizes []int) (*NodeCountResult, error) {
 					s.DisableDenseTables = true
 				}
 				start := time.Now()
-				rep, st, mallocs, gc, err := executeInstrumented(ctx, s, cfg)
+				ir, err := executeInstrumented(ctx, s, cfg, mode == "sharded")
 				elapsed := time.Since(start)
 				if err != nil {
 					return nil, err
 				}
-				reports[i] = rep
+				reports[i] = ir.rep
 				switch mode {
 				case "scratch":
-					scratch[r] = rep.DeliveryRatio
+					scratch[r] = ir.rep.DeliveryRatio
 					point.WallScratch += elapsed
-					point.SpannerScratch += st.BuildTime
+					point.SpannerScratch += ir.spanner.BuildTime
 				case "map":
 					point.WallMapTables += elapsed
-					allocsMap += mallocs
-					gcMap += gc
+					allocsMap += ir.mallocs
+					gcMap += ir.gc
 				case "sharded":
 					point.WallSharded += elapsed
+					point.SpannerSharded += ir.spanner.BuildTime
+					point.Phases.Beacon += ir.phases.Beacon
+					point.Phases.Mobility += ir.phases.Mobility
+					point.Phases.Rx += ir.phases.Rx
+					point.Phases.AntiEntropy += ir.phases.AntiEntropy
+					point.Thresholds = ir.thr
 				default:
-					cached[r] = rep.DeliveryRatio
+					cached[r] = ir.rep.DeliveryRatio
 					point.WallCached += elapsed
-					point.SpannerCached += st.BuildTime
-					hitStats.Add(st)
-					allocsDense += mallocs
-					gcDense += gc
+					point.SpannerCached += ir.spanner.BuildTime
+					hitStats.Add(ir.spanner)
+					allocsDense += ir.mallocs
+					gcDense += ir.gc
 				}
 			}
 			if reports[0] != reports[1] || reports[0] != reports[2] || reports[0] != reports[3] {
@@ -234,6 +267,11 @@ func NodeCountSweep(o Options, sizes []int) (*NodeCountResult, error) {
 		point.WallSharded /= time.Duration(runs)
 		point.SpannerCached /= time.Duration(runs)
 		point.SpannerScratch /= time.Duration(runs)
+		point.SpannerSharded /= time.Duration(runs)
+		point.Phases.Beacon /= time.Duration(runs)
+		point.Phases.Mobility /= time.Duration(runs)
+		point.Phases.Rx /= time.Duration(runs)
+		point.Phases.AntiEntropy /= time.Duration(runs)
 		point.TriHitRate = hitStats.TriHitRate()
 		point.AllocsDense = allocsDense / uint64(runs)
 		point.AllocsMapTables = allocsMap / uint64(runs)
@@ -287,7 +325,27 @@ func (r *NodeCountResult) Render() string {
 		Headers: []string{"Nodes", "Region", "Msgs", "Delivery", "Spanner", "Spd-up", "Tri hits", "Wall", "Sharded", "Shd-up", "Allocs", "Allocs(map)", "Δalloc", "GC d/m"},
 		Rows:    rows,
 	}.Render())
-	sb.WriteString("Spanner columns time the GLR routing loop's local-graph construction\n" +
+	sb.WriteString("\nSharded per-phase wall clock (share of the sharded run's wall):\n")
+	for _, p := range r.Points {
+		pct := func(d time.Duration) float64 {
+			if p.WallSharded <= 0 {
+				return 0
+			}
+			return 100 * float64(d) / float64(p.WallSharded)
+		}
+		sb.WriteString(fmt.Sprintf(
+			"  n=%-5d beacon %5.1f%%  mobility %5.1f%%  rx %5.1f%%  anti-entropy %5.1f%%  spanner %5.1f%%\n",
+			p.N, pct(p.Phases.Beacon), pct(p.Phases.Mobility), pct(p.Phases.Rx),
+			pct(p.Phases.AntiEntropy), pct(p.SpannerSharded)))
+	}
+	if len(r.Points) > 0 {
+		thr := r.Points[len(r.Points)-1].Thresholds
+		sb.WriteString(fmt.Sprintf(
+			"Calibrated fork thresholds (%d worker(s)): rx≥%s, beacon≥%s, mobility≥%s, diff≥%s\n",
+			workers, fmtThreshold(thr.RxMin), fmtThreshold(thr.BeaconMin),
+			fmtThreshold(thr.MobilityMin), fmtThreshold(thr.DiffMin)))
+	}
+	sb.WriteString("\nSpanner columns time the GLR routing loop's local-graph construction\n" +
 		"through the shared ldt.Maintainer; \"Spd-up\" is the from-scratch reference\n" +
 		"(DisableSpannerCache) over it. \"Wall\" is the serial fast path and\n" +
 		fmt.Sprintf("\"Sharded\" the same run on the sharded engine (%d worker(s) here);\n", workers) +
@@ -303,6 +361,15 @@ func (r *NodeCountResult) Render() string {
 			"equivalence tests in internal/core and internal/sim.\n")
 	}
 	return sb.String()
+}
+
+// fmtThreshold renders one fork threshold; serial engines and degenerate
+// calibrations carry math.MaxInt, printed as "never".
+func fmtThreshold(v int) string {
+	if v == math.MaxInt {
+		return "never"
+	}
+	return fmt.Sprintf("%d", v)
 }
 
 // SpannerSpeedupAtLargestN returns the spanner-construction speedup at

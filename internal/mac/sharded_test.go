@@ -27,7 +27,7 @@ func TestShardedReceptionEquivalence(t *testing.T) {
 			rng := rand.New(rand.NewSource(int64(trial)*104917 + 13))
 
 			// Dense on purpose: enough radios per neighborhood to cross
-			// shardedRxMin so the parallel path actually runs.
+			// the pinned RxMin so the parallel path actually runs.
 			n := 40 + rng.Intn(60)
 			side := 200 + rng.Float64()*300
 			moving := trial%2 == 1
@@ -84,7 +84,7 @@ func TestShardedReceptionEquivalence(t *testing.T) {
 				if workers > 1 {
 					pool := shard.NewPool(workers)
 					defer pool.Close()
-					em.medium.SetPool(pool, side)
+					em.medium.SetPool(pool, side, testThresholds())
 				}
 				for k, sp := range specs {
 					k, sp := k, sp
@@ -131,11 +131,11 @@ func TestSetPoolRefusals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.SetPool(shard.NewPool(1), 1000)
+	m.SetPool(shard.NewPool(1), 1000, testThresholds())
 	if m.pool != nil {
 		t.Fatal("single-worker pool attached")
 	}
-	m.SetPool(nil, 1000)
+	m.SetPool(nil, 1000, testThresholds())
 	if m.pool != nil {
 		t.Fatal("nil pool attached")
 	}
@@ -145,8 +145,15 @@ func TestSetPoolRefusals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	nm.SetPool(shard.NewPool(4), 1000)
+	nm.SetPool(shard.NewPool(4), 1000, testThresholds())
 	if nm.pool != nil {
 		t.Fatal("naive medium attached a pool")
 	}
+}
+
+// testThresholds pins the fork thresholds the pre-calibration code used
+// (a flat minimum of 8), keeping the equivalence trials' fork decisions
+// host-independent.
+func testThresholds() shard.Thresholds {
+	return shard.Thresholds{RxMin: 8, BeaconMin: 8, MobilityMin: 8, DiffMin: 8}
 }

@@ -7,6 +7,16 @@
 // at event times. Trajectories are generated lazily but remembered, so
 // Position may be queried at arbitrary (also non-monotone) times ≥ 0 and
 // always returns the same answer for the same t.
+//
+// A single model instance is NOT safe for concurrent use (lazy trajectory
+// extension mutates internal state, and the randomized models each own a
+// private RNG), but distinct instances share nothing — every stochastic
+// model is seeded with its own stream precisely so trajectories never
+// depend on cross-node query interleaving. The sharded engine's parallel
+// planes rely on exactly this split: any partition of nodes across workers
+// may query positions concurrently, provided each node's model is touched
+// by exactly one worker per fork, and the returned positions are
+// byte-identical to any serial query order.
 package mobility
 
 import (

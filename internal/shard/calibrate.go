@@ -1,0 +1,230 @@
+package shard
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Calibrated fork cost model.
+//
+// Forking a parallel section onto the pool costs a fixed dispatch price
+// (waking helpers, the join barrier); running it inline costs the batch
+// size times the per-item work. Forking pays off only above the
+// break-even batch size
+//
+//	n* = forkCost / (itemCost × (1 − 1/W))
+//
+// where W is the worker count — the parallel section still runs the
+// items, it just spreads them over W workers, so the saving per item is
+// the (1 − 1/W) fraction moved off the event loop. Each stepping plane
+// has a very different per-item cost (an interference verdict is ~100×
+// a summary-vector map probe), so one shared constant either forks
+// hopeless micro-batches or leaves real work serial; Calibrate measures
+// the dispatch price and a synthetic per-item kernel for each plane
+// once per process and derives one threshold per plane.
+//
+// Thresholds gate only WHETHER a section forks, never what it computes
+// — the forked and inline paths are byte-identical by construction
+// (see docs/ARCHITECTURE.md) — so the wall-clock nondeterminism of the
+// measurement is harmless to reproducibility. Runs that must pin the
+// decision (equivalence tests, cross-host benchmarks) bypass Calibrate
+// with explicit thresholds.
+
+// Thresholds holds the per-plane minimum batch sizes at which a
+// parallel section forks onto the pool instead of running inline on the
+// event loop. A plane forks when its batch size is ≥ its threshold, so
+// 0 forces forking and math.MaxInt pins the plane serial.
+type Thresholds struct {
+	// RxMin gates the broadcast-reception plane: in-range candidate
+	// receivers per resolved airing.
+	RxMin int
+	// BeaconMin gates the beacon plane: hello frames constructed per
+	// aggregated beacon event.
+	BeaconMin int
+	// MobilityMin gates the mobility plane: radios re-extrapolated per
+	// bulk spatial-index refresh.
+	MobilityMin int
+	// DiffMin gates the anti-entropy plane: summary-vector ids diffed
+	// per epidemic exchange.
+	DiffMin int
+}
+
+// Never returns thresholds that pin every plane serial — the resolution
+// for serial engines (and single-worker pools), where forking can never
+// pay.
+func Never() Thresholds {
+	return Thresholds{
+		RxMin:       math.MaxInt,
+		BeaconMin:   math.MaxInt,
+		MobilityMin: math.MaxInt,
+		DiffMin:     math.MaxInt,
+	}
+}
+
+// calCache memoizes Calibrate per worker count: the measurement costs a
+// few hundred microseconds, and a replication sweep builds one world
+// per run.
+var calCache = struct {
+	sync.Mutex
+	m map[int]Thresholds
+}{m: make(map[int]Thresholds)}
+
+// Calibrate measures the pool dispatch overhead against per-plane
+// synthetic item kernels and returns the break-even batch size of each
+// plane for a pool of the given worker count. Results are memoized per
+// worker count for the process lifetime. Workers ≤ 1 always returns
+// Never — a serial pool runs everything inline regardless.
+func Calibrate(workers int) Thresholds {
+	if workers <= 1 {
+		return Never()
+	}
+	calCache.Lock()
+	defer calCache.Unlock()
+	if t, ok := calCache.m[workers]; ok {
+		return t
+	}
+	t := measure(workers)
+	calCache.m[workers] = t
+	return t
+}
+
+// calSink defeats dead-code elimination of the measurement kernels.
+var calSink uint64
+
+// kernelReps sizes each kernel timing loop: large enough that the
+// time.Now pair amortizes to well under a nanosecond per item.
+const kernelReps = 4096
+
+// timeKernel returns the per-item cost of fn in nanoseconds, taking the
+// minimum of a few repetitions to shed scheduler noise.
+func timeKernel(fn func(reps int)) float64 {
+	best := math.Inf(1)
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		fn(kernelReps)
+		if ns := float64(time.Since(start)) / kernelReps; ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// measure runs the actual calibration for a pool of the given width.
+func measure(workers int) Thresholds {
+	p := NewPool(workers)
+	defer p.Close()
+
+	// Dispatch price: a fork-join over `workers` empty bodies, the
+	// fixed cost every parallel section pays. Warm the pool first so
+	// the helpers are parked in their receive loops, then take the
+	// minimum of several forks.
+	for i := 0; i < 4; i++ {
+		p.Run(workers, func(int) {})
+	}
+	forkNs := math.Inf(1)
+	const forkTrials = 32
+	for trial := 0; trial < forkTrials; trial++ {
+		start := time.Now()
+		p.Run(workers, func(int) {})
+		if ns := float64(time.Since(start)); ns < forkNs {
+			forkNs = ns
+		}
+	}
+
+	// Per-plane item kernels, shaped after each plane's hot loop.
+	var pts [32]struct{ x, y float64 }
+	for i := range pts {
+		pts[i].x, pts[i].y = float64(i)*7.3, float64(i)*3.1
+	}
+	// Reception verdict: distance² comparisons against a handful of
+	// interferer candidates (corruptedAt's inner loop).
+	rxNs := timeKernel(func(reps int) {
+		acc := 0.0
+		for r := 0; r < reps; r++ {
+			px, py := pts[r%16].x, pts[r%16].y
+			for _, q := range pts[:8] {
+				dx, dy := q.x-px, q.y-py
+				if d2 := dx*dx + dy*dy; d2 < 500 {
+					acc += d2
+				}
+			}
+		}
+		calSink += uint64(acc)
+	})
+	// Hello construction: filling a small advertised-neighbor slice
+	// (AppendAdvertised's copy loop plus frame setup arithmetic).
+	var advBuf [16]int64
+	beaconNs := timeKernel(func(reps int) {
+		for r := 0; r < reps; r++ {
+			for i := range advBuf {
+				advBuf[i] = int64(r+i) * 20
+			}
+			calSink += uint64(advBuf[r%16])
+		}
+	})
+	// Position extrapolation: a short waypoint scan plus a lerp
+	// (mobility.Model.Position's steady-state shape).
+	mobNs := timeKernel(func(reps int) {
+		acc := 0.0
+		for r := 0; r < reps; r++ {
+			t := float64(r % 97)
+			i := 0
+			for i < 6 && pts[i].x < t {
+				i++
+			}
+			frac := t - float64(int(t))
+			acc += pts[i%32].x + (pts[(i+1)%32].x-pts[i%32].x)*frac
+		}
+		calSink += uint64(acc)
+	})
+	// Anti-entropy diff: one map probe per advertised id.
+	probe := make(map[uint64]struct{}, 64)
+	for i := uint64(0); i < 64; i++ {
+		probe[i*2654435761] = struct{}{}
+	}
+	diffNs := timeKernel(func(reps int) {
+		hits := 0
+		for r := 0; r < reps; r++ {
+			if _, ok := probe[uint64(r)*2654435761]; ok {
+				hits++
+			}
+		}
+		calSink += uint64(hits)
+	})
+
+	saving := 1 - 1/float64(workers)
+	return Thresholds{
+		RxMin:       breakEven(forkNs, rxNs, saving),
+		BeaconMin:   breakEven(forkNs, beaconNs, saving),
+		MobilityMin: breakEven(forkNs, mobNs, saving),
+		DiffMin:     breakEven(forkNs, diffNs, saving),
+	}
+}
+
+// breakEven converts the measured costs into a threshold, clamped to
+// [2, 1<<20]: below 2 a "batch" is a single item (forking it buys
+// nothing even at zero cost), and the cap keeps a degenerate
+// measurement from overflowing into never-fork territory by accident.
+func breakEven(forkNs, itemNs, saving float64) int {
+	if itemNs <= 0 || saving <= 0 {
+		return math.MaxInt
+	}
+	n := int(math.Ceil(forkNs / (itemNs * saving)))
+	if n < 2 {
+		n = 2
+	}
+	if n > 1<<20 {
+		n = 1 << 20
+	}
+	return n
+}
+
+// ChunkBounds splits n items into parts contiguous chunks and returns
+// the half-open bounds [lo, hi) of chunk c. Chunks differ in size by at
+// most one and cover [0, n) disjointly — the partition parallel planes
+// use to guarantee each item (and so each per-item mutable structure,
+// like a mobility model) is touched by exactly one worker.
+func ChunkBounds(n, parts, c int) (lo, hi int) {
+	return n * c / parts, n * (c + 1) / parts
+}

@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCalibrateSerialNeverForks(t *testing.T) {
+	for _, w := range []int{-1, 0, 1} {
+		got := Calibrate(w)
+		if got != Never() {
+			t.Fatalf("Calibrate(%d) = %+v, want Never()", w, got)
+		}
+	}
+}
+
+func TestCalibrateProducesFiniteThresholds(t *testing.T) {
+	thr := Calibrate(4)
+	for name, v := range map[string]int{
+		"RxMin":       thr.RxMin,
+		"BeaconMin":   thr.BeaconMin,
+		"MobilityMin": thr.MobilityMin,
+		"DiffMin":     thr.DiffMin,
+	} {
+		if v < 2 || v > 1<<20 {
+			t.Errorf("%s = %d outside the clamp [2, 1<<20]", name, v)
+		}
+	}
+	// A reception verdict costs far more than a map probe, so its
+	// break-even batch must not be larger.
+	if thr.RxMin > thr.DiffMin {
+		t.Errorf("RxMin %d > DiffMin %d: heavier items should break even sooner",
+			thr.RxMin, thr.DiffMin)
+	}
+}
+
+func TestCalibrateMemoized(t *testing.T) {
+	a := Calibrate(3)
+	b := Calibrate(3)
+	if a != b {
+		t.Fatalf("Calibrate(3) not memoized: %+v then %+v", a, b)
+	}
+}
+
+func TestChunkBounds(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{
+		{0, 1}, {1, 1}, {1, 4}, {5, 4}, {8, 4}, {9, 4}, {100, 7}, {3, 8},
+	} {
+		covered := 0
+		prevHi := 0
+		for c := 0; c < tc.parts; c++ {
+			lo, hi := ChunkBounds(tc.n, tc.parts, c)
+			if lo != prevHi {
+				t.Fatalf("n=%d parts=%d chunk %d starts at %d, want %d (gap/overlap)",
+					tc.n, tc.parts, c, lo, prevHi)
+			}
+			if hi < lo || hi > tc.n {
+				t.Fatalf("n=%d parts=%d chunk %d bounds [%d,%d) invalid", tc.n, tc.parts, c, lo, hi)
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		if covered != tc.n || prevHi != tc.n {
+			t.Fatalf("n=%d parts=%d covers %d items ending at %d", tc.n, tc.parts, covered, prevHi)
+		}
+	}
+}
+
+func TestBreakEvenClamps(t *testing.T) {
+	if got := breakEven(0, 10, 0.5); got != 2 {
+		t.Errorf("zero fork cost: got %d, want floor 2", got)
+	}
+	if got := breakEven(1e12, 1e-6, 0.5); got != 1<<20 {
+		t.Errorf("degenerate measurement: got %d, want cap %d", got, 1<<20)
+	}
+	if got := breakEven(100, 0, 0.5); got != math.MaxInt {
+		t.Errorf("zero item cost: got %d, want MaxInt", got)
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"time"
 
 	"glr/internal/des"
 	"glr/internal/dtn"
@@ -130,6 +131,24 @@ func (n *Node) Locations() *dtn.LocationTable { return n.locations }
 // goroutine.
 func (n *Node) ShardPool() *shard.Pool { return n.world.pool }
 
+// ForkThresholds returns the run's per-plane fork thresholds
+// (shard.Never() on serial engines). Protocols forking batch work onto
+// ShardPool gate on the matching plane's threshold so below-break-even
+// batches stay inline.
+func (n *Node) ForkThresholds() shard.Thresholds { return n.world.thr }
+
+// PhaseProfiled reports whether the run collects per-phase wall-clock
+// attribution (see World.EnablePhaseProfile).
+func (n *Node) PhaseProfiled() bool { return n.world.prof != nil }
+
+// AddAntiEntropyTime folds d into the run's anti-entropy phase total.
+// No-op when the run is not profiled.
+func (n *Node) AddAntiEntropyTime(d time.Duration) {
+	if n.world.prof != nil {
+		n.world.prof.AntiEntropy += d
+	}
+}
+
 // AppendTwoHopAt appends the node's two-hop neighborhood as it will look
 // at the (future or present) instant `at` — the rows that will not have
 // expired by then plus this node's own predicted position — without
@@ -250,12 +269,21 @@ func (n *Node) sendBeacon() {
 		return
 	}
 	bf := n.world.takeBeacon()
-	adv := n.Neighbors().AppendAdvertised(bf.b.Neighbors[:0])
-	// The advertised position is the true one in fault-free runs;
-	// under GPS noise or a Byzantine plan the node claims somewhere
-	// else, and every receiver's tables trust the claim.
-	bf.b = Beacon{From: n.id, Pos: n.world.advertisedPos(n.id, n.Pos()), Time: n.Now(), Neighbors: adv}
-	bf.frame = mac.Frame{Dst: mac.Broadcast, Bits: beaconBits(len(adv)), Payload: bf}
+	n.fillBeacon(bf)
 	n.countFrame(KindControl)
 	n.radio.Send(&bf.frame)
+}
+
+// fillBeacon constructs this node's current hello into the pooled
+// frame: neighbor-table expiry, advertised-neighbor fill, and the
+// advertised position (the true one in fault-free runs; under GPS
+// noise or a Byzantine plan the node claims somewhere else, and every
+// receiver's tables trust the claim). It touches only the node's own
+// tables, mobility model, and bf — plus pure reads of the clock and
+// the fault plan — so the batched beacon plane may run fillBeacon for
+// distinct nodes on parallel workers (see World.sendBeacons).
+func (n *Node) fillBeacon(bf *beaconFrame) {
+	adv := n.Neighbors().AppendAdvertised(bf.b.Neighbors[:0])
+	bf.b = Beacon{From: n.id, Pos: n.world.advertisedPos(n.id, n.Pos()), Time: n.Now(), Neighbors: adv}
+	bf.frame = mac.Frame{Dst: mac.Broadcast, Bits: beaconBits(len(adv)), Payload: bf}
 }

@@ -12,6 +12,7 @@ import (
 	"glr/internal/fault"
 	"glr/internal/mac"
 	"glr/internal/mobility"
+	"glr/internal/shard"
 )
 
 // MobilityKind selects the movement model for a scenario.
@@ -108,6 +109,15 @@ type Scenario struct {
 	// identical; equivalence tests and the node-count sweep use it.
 	DisableSharding bool
 
+	// ForkThresholds overrides the sharded engine's per-plane fork
+	// thresholds (nil = measure once at world init via shard.Calibrate).
+	// Thresholds gate only whether a parallel plane forks onto the pool,
+	// never what it computes, so results are byte-identical at every
+	// setting — including the pathological 0 (always fork) and
+	// math.MaxInt (never fork), which the equivalence tests force.
+	// Ignored by serial runs.
+	ForkThresholds *shard.Thresholds
+
 	// DisableCalendarQueue backs the event core with the reference binary
 	// heap instead of the O(1)-amortized calendar queue. Dispatch order —
 	// and therefore every result — is byte-identical; equivalence tests
@@ -169,6 +179,11 @@ func (s Scenario) Validate() error {
 		return fmt.Errorf("sim: storage limit %d must be nonnegative", s.StorageLimit)
 	case s.Parallelism < 0:
 		return fmt.Errorf("sim: parallelism %d must be nonnegative", s.Parallelism)
+	}
+	if t := s.ForkThresholds; t != nil {
+		if t.RxMin < 0 || t.BeaconMin < 0 || t.MobilityMin < 0 || t.DiffMin < 0 {
+			return fmt.Errorf("sim: fork thresholds %+v must be nonnegative", *t)
+		}
 	}
 	switch s.Mobility {
 	case MobilityWaypoint, MobilityStatic:

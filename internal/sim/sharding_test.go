@@ -10,9 +10,11 @@ import (
 
 	"glr/internal/core"
 	"glr/internal/dtn"
+	"glr/internal/epidemic"
 	"glr/internal/geom"
 	"glr/internal/metrics"
 	"glr/internal/mobility"
+	"glr/internal/shard"
 	"glr/internal/sim"
 )
 
@@ -53,7 +55,10 @@ func stripeBoundaries(width, halo float64, shards int) []float64 {
 // oscillate across the lines while talking to each other — the sharded
 // engine must deliver exactly the same frames in exactly the same order
 // as the serial engine, and produce an identical metrics.Report, for
-// parallelism 1, 2, 4, and 8.
+// parallelism 1, 2, 4, and 8 — with calibrated thresholds, with all-zero
+// thresholds forcing every plane (beacon, mobility, rx, anti-entropy)
+// to fork on every batch, and under the epidemic protocol whose
+// anti-entropy diffs GLR never exercises.
 func TestShardBoundaryEquivalence(t *testing.T) {
 	const trials = 6
 	workerSet := []int{1, 2, 4, 8}
@@ -164,14 +169,21 @@ func TestShardBoundaryEquivalence(t *testing.T) {
 				Traffic:        traffic,
 			}
 
-			run := func(parallelism int, disable bool) ([]deliveryRec, metrics.Report) {
-				factory, err := core.New(core.DefaultConfig())
+			run := func(parallelism int, disable, epi bool, thr *shard.Thresholds) ([]deliveryRec, metrics.Report) {
+				var factory sim.ProtocolFactory
+				var err error
+				if epi {
+					factory, err = epidemic.New(epidemic.DefaultConfig())
+				} else {
+					factory, err = core.New(core.DefaultConfig())
+				}
 				if err != nil {
 					t.Fatal(err)
 				}
 				sc := s
 				sc.Parallelism = parallelism
 				sc.DisableSharding = disable
+				sc.ForkThresholds = thr
 				w, err := sim.NewWorld(sc, factory)
 				if err != nil {
 					t.Fatal(err)
@@ -184,19 +196,42 @@ func TestShardBoundaryEquivalence(t *testing.T) {
 				})
 				return log, w.Run()
 			}
-
-			serialLog, serialRep := run(0, true)
-			delivered += serialRep.Delivered
-			for _, workers := range workerSet {
-				shardLog, shardRep := run(workers, false)
+			check := func(label string, workers int, epi bool, thr *shard.Thresholds,
+				serialLog []deliveryRec, serialRep metrics.Report) {
+				t.Helper()
+				shardLog, shardRep := run(workers, false, epi, thr)
 				if !reflect.DeepEqual(serialLog, shardLog) {
-					t.Fatalf("parallelism=%d delivered-frame log diverged (%d vs %d records)",
-						workers, len(shardLog), len(serialLog))
+					t.Fatalf("%s parallelism=%d delivered-frame log diverged (%d vs %d records)",
+						label, workers, len(shardLog), len(serialLog))
 				}
 				if !reflect.DeepEqual(serialRep, shardRep) {
-					t.Fatalf("parallelism=%d report diverged:\n  serial:  %+v\n  sharded: %+v",
-						workers, serialRep, shardRep)
+					t.Fatalf("%s parallelism=%d report diverged:\n  serial:  %+v\n  sharded: %+v",
+						label, workers, serialRep, shardRep)
 				}
+			}
+
+			// All-zero thresholds force every parallel plane — reception,
+			// batched beacons, the bulk reindex, anti-entropy diffs — to
+			// fork on every batch, so boundary crossings hit the parallel
+			// code even where the calibrated thresholds would stay inline.
+			forceFork := &shard.Thresholds{}
+
+			serialLog, serialRep := run(0, true, false, nil)
+			delivered += serialRep.Delivered
+			for _, workers := range workerSet {
+				check("glr", workers, false, nil, serialLog, serialRep)
+			}
+			for _, workers := range []int{2, 8} {
+				check("glr/fork-always", workers, false, forceFork, serialLog, serialRep)
+			}
+
+			// The epidemic protocol drives the anti-entropy diff plane,
+			// which GLR never touches; its boundary-straddling exchanges
+			// must shard identically too.
+			epiLog, epiRep := run(0, true, true, nil)
+			delivered += epiRep.Delivered
+			for _, workers := range []int{2, 8} {
+				check("epidemic/fork-always", workers, true, forceFork, epiLog, epiRep)
 			}
 		})
 	}

@@ -26,8 +26,20 @@ type World struct {
 	rng       *rand.Rand
 
 	// pool is the shard worker pool for within-run parallelism (nil =
-	// serial engine); see Scenario.Parallelism / DisableSharding.
+	// serial engine); see Scenario.Parallelism / DisableSharding. thr
+	// holds the per-plane fork thresholds in effect — calibrated at
+	// init or pinned by Scenario.ForkThresholds; shard.Never() for
+	// serial runs.
 	pool *shard.Pool
+	thr  shard.Thresholds
+
+	// prof accumulates per-phase wall clock when EnablePhaseProfile was
+	// called (nil = off, the default; see phaseprof.go).
+	prof *PhaseProf
+
+	// Scratch for the batched beacon plane (see sendBeacons).
+	beaconDue   []*Node
+	beaconBatch []*beaconFrame
 
 	// plan is the compiled fault set (nil = fault-free run; every
 	// fault-path check is gated on it so the zero-fault hot path pays
@@ -141,13 +153,24 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 		return nil, err
 	}
 	if workers := cfg.shardWorkers(); workers > 1 {
-		// The sharded engine: a worker pool shared by the medium (parallel
-		// reception verdicts) and the protocols (speculative spanner
-		// builds, via Node.ShardPool). Results stay byte-identical to the
-		// serial engine — see internal/shard's package doc for the
-		// discipline that guarantees it.
+		// The sharded engine: a worker pool shared by the medium
+		// (parallel reception analysis and bulk reindexing), the beacon
+		// plane (parallel hello construction), the protocols' anti-
+		// entropy diffs, and the speculative spanner builds (via
+		// Node.ShardPool). Results stay byte-identical to the serial
+		// engine — see internal/shard's package doc for the discipline
+		// that guarantees it. Each plane forks only above its threshold:
+		// calibrated from the measured fork cost, or pinned by the
+		// scenario for reproducible fork decisions.
 		w.pool = shard.NewPool(workers)
-		w.medium.SetPool(w.pool, cfg.Region.W)
+		if cfg.ForkThresholds != nil {
+			w.thr = *cfg.ForkThresholds
+		} else {
+			w.thr = shard.Calibrate(workers)
+		}
+		w.medium.SetPool(w.pool, cfg.Region.W, w.thr)
+	} else {
+		w.thr = shard.Never()
 	}
 
 	models, err := w.buildMobility()
@@ -208,7 +231,60 @@ func NewWorld(cfg Scenario, factory ProtocolFactory) (*World, error) {
 // indexed and naive runs of the same scenario dispatch identical event
 // sequences and stay comparable.
 func (w *World) scheduleReindex() {
-	des.NewTicker(w.sched, w.cfg.BeaconInterval, 0, w.medium.Reindex)
+	des.NewTicker(w.sched, w.cfg.BeaconInterval, 0, func() {
+		if w.prof != nil {
+			defer w.prof.clock(&w.prof.Mobility)()
+		}
+		w.medium.Reindex()
+	})
+}
+
+// sendBeacons fires the hellos of the due members of one aggregated
+// beacon event, in due order. Below the beacon fork threshold (the
+// common case — members of one cell have distinct random phases, so a
+// typical event carries exactly one due member) it is the plain serial
+// loop. Above it, the batch runs in three phases mirroring the sharded
+// reception discipline: serial enumeration (the fault-plan liveness
+// check and pooled-frame allocation, in due order), parallel hello
+// construction (fillBeacon touches only the member's own tables,
+// mobility model, and pooled frame — per-node state, each touched by
+// exactly one worker — plus pure reads of the fault plan and clock),
+// and a serial commit (frame counting and the MAC sends, whose backoff
+// draws from the medium RNG must happen in exactly the serial order).
+//
+// One deviation from the serial loop is deliberate: pooled beacon
+// frames are all taken before any send, so when a send fails
+// queue-full (recycling its frame inline) the next member uses a
+// different pooled object than the serial path would have. Contents
+// are identical either way — every field is rewritten by fillBeacon —
+// and receivers copy what they keep, so object identity is never
+// observable.
+func (w *World) sendBeacons(due []*Node) {
+	if w.prof != nil {
+		defer w.prof.clock(&w.prof.Beacon)()
+	}
+	if w.pool == nil || len(due) < w.thr.BeaconMin {
+		for _, n := range due {
+			n.sendBeacon()
+		}
+		return
+	}
+	live, bfs := w.beaconDue[:0], w.beaconBatch[:0]
+	for _, n := range due {
+		if w.nodeDown(n.id) {
+			continue
+		}
+		live = append(live, n)
+		bfs = append(bfs, w.takeBeacon())
+	}
+	w.beaconDue, w.beaconBatch = live, bfs
+	w.pool.Run(len(live), func(i int) {
+		live[i].fillBeacon(bfs[i])
+	})
+	for i, n := range live {
+		n.countFrame(KindControl)
+		n.radio.Send(&bfs[i].frame)
+	}
 }
 
 // scheduleBeacons arms the hello beacons with random phases so nodes do
@@ -227,7 +303,12 @@ func (w *World) scheduleBeacons() {
 	}
 	if w.cfg.DisableBeaconAggregation || phasesCollide(phases) {
 		for i, n := range w.nodes {
-			des.NewTicker(w.sched, w.cfg.BeaconInterval, phases[i], n.sendBeacon)
+			des.NewTicker(w.sched, w.cfg.BeaconInterval, phases[i], func() {
+				if w.prof != nil {
+					defer w.prof.clock(&w.prof.Beacon)()
+				}
+				n.sendBeacon()
+			})
 		}
 		return
 	}

@@ -8,6 +8,7 @@ import (
 	"glr/internal/geom"
 	"glr/internal/metrics"
 	"glr/internal/mobility"
+	"glr/internal/shard"
 	"glr/internal/sim"
 )
 
@@ -66,6 +67,37 @@ type Engine struct {
 	// instead of aggregating beacons into one pending event per occupied
 	// grid cell.
 	DisableBeaconAggregation bool
+	// ForkThresholds pins the per-plane fork thresholds of a sharded run:
+	// a stepping plane forks its batch onto the worker pool only when the
+	// batch size reaches the plane's threshold, and runs inline otherwise.
+	// nil (the default) calibrates thresholds at world construction from a
+	// measured fork-cost model; pinning them makes fork decisions
+	// reproducible across hosts (useful for benchmarks and tests).
+	// Thresholds gate only whether work forks, never what it computes —
+	// results are byte-identical at every setting, including the
+	// pathological extremes 0 (always fork) and math.MaxInt (never fork).
+	// Ignored by serial runs.
+	ForkThresholds *ForkThresholds
+}
+
+// ForkThresholds carries the per-plane minimum batch sizes at which a
+// sharded run forks work onto the worker pool (see
+// Engine.ForkThresholds). A batch smaller than the plane's threshold
+// runs inline on the event goroutine; 0 forks always, math.MaxInt
+// never. All fields must be nonnegative.
+type ForkThresholds struct {
+	// RxMin gates reception-verdict batches: the candidate receivers of
+	// one ended airing.
+	RxMin int
+	// BeaconMin gates batched beacon construction: the due senders of
+	// one aggregated beacon event.
+	BeaconMin int
+	// MobilityMin gates the periodic bulk position reindex: the number
+	// of radios whose positions are re-extrapolated.
+	MobilityMin int
+	// DiffMin gates epidemic anti-entropy diffs: the number of summary
+	// ids screened against the local buffer.
+	DiffMin int
 }
 
 // WithEngine selects the execution engine (default: the zero Engine —
@@ -340,6 +372,14 @@ func (s *Scenario) compile(seed int64) (sim.Scenario, sim.ProtocolFactory, error
 	scn.DisableDenseTables = s.engine.DisableDenseTables
 	scn.DisableCalendarQueue = s.engine.DisableCalendarQueue
 	scn.DisableBeaconAggregation = s.engine.DisableBeaconAggregation
+	if ft := s.engine.ForkThresholds; ft != nil {
+		scn.ForkThresholds = &shard.Thresholds{
+			RxMin:       ft.RxMin,
+			BeaconMin:   ft.BeaconMin,
+			MobilityMin: ft.MobilityMin,
+			DiffMin:     ft.DiffMin,
+		}
+	}
 
 	// Workload generators draw random pairs over scn.N; reject
 	// degenerate sizes before they schedule (a one-trajectory Trace can
